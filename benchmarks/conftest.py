@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+Every benchmark prints the paper-style table it regenerates AND writes it
+to ``bench_results/<name>.txt`` so EXPERIMENTS.md can quote actual runs.
+Benchmarks double as regression tests of the reproduction: each asserts
+the *shape* the paper reports (who wins, how costs scale), not absolute
+numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir, request):
+    """Callable: print a table and persist it for EXPERIMENTS.md."""
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n{text}\n", file=sys.stderr)
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def binned_cache():
+    """Session-wide exact-binning cache shared by all benchmarks."""
+    from repro.bench.harness import BinnedCache
+
+    return BinnedCache()

@@ -1,0 +1,203 @@
+"""Figure 10(a)-(d): partitioning-scheme comparison, QD2 vs QD4.
+
+Each panel sweeps one workload dimension and reports the per-tree
+computation / communication breakdown of horizontal+row (QD2) and
+vertical+row (QD4).  Workloads are geometrically scaled versions of the
+paper's (Section 5.2); the asserted properties are the paper's observed
+shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterConfig, TrainConfig, make_classification
+from repro.bench.harness import run_point
+from repro.bench.report import figure10_table
+
+CLUSTER = ClusterConfig(num_workers=8)
+TREES = 2
+
+
+def sweep_points(system, workloads, config_of, binned_cache):
+    points = []
+    for label, dataset, config in workloads:
+        binned = binned_cache.get(dataset, config.num_candidates)
+        points.append(
+            run_point(system, binned, config, CLUSTER, num_trees=TREES,
+                      label=label)
+        )
+    return points
+
+
+@pytest.fixture(scope="module")
+def fig10a_workloads():
+    # Low-dim regime scaled so the paper's N-crossover (vertical placement
+    # traffic overtaking horizontal histogram traffic) is reachable at
+    # laptop N: small histograms (D=20, q=10, L=5) and N up to 160K.
+    cfg = TrainConfig(num_trees=TREES, num_layers=5, num_candidates=10)
+    return [
+        (f"N={n // 1000}K",
+         make_classification(n, 20, density=0.5, seed=61, name=f"a{n}"),
+         cfg)
+        for n in (40_000, 80_000, 120_000, 160_000)
+    ]
+
+
+def test_fig10a_impact_of_instance_number(benchmark, fig10a_workloads,
+                                          binned_cache, record_table):
+    """Fig 10(a): low-dim. QD2 comm is constant in N; QD4 comm grows
+    proportionally with N (placement broadcast) and eventually exceeds
+    QD2's, making horizontal the right choice."""
+    def run():
+        return {
+            system: sweep_points(system, fig10a_workloads, None,
+                                 binned_cache)
+            for system in ("qd2", "qd4")
+        }
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "fig10a",
+        figure10_table(
+            "Figure 10(a) — impact of instance number "
+            "(D=20, C=2, L=5, q=10, W=8)", points,
+        ),
+    )
+    qd2, qd4 = points["qd2"], points["qd4"]
+    # QD4 placement traffic grows with N
+    comm4 = [p.comm_bytes_per_tree for p in qd4]
+    assert comm4 == sorted(comm4)
+    assert comm4[-1] > 2.5 * comm4[0]
+    # QD2 histogram traffic is independent of N
+    comm2 = [p.comm_bytes_per_tree for p in qd2]
+    assert max(comm2) < 1.2 * min(comm2)
+    # low dimensionality: horizontal moves less data than vertical at
+    # the largest N
+    assert comm2[-1] < comm4[-1]
+
+
+@pytest.fixture(scope="module")
+def fig10b_workloads():
+    cfg = TrainConfig(num_trees=TREES, num_layers=6, num_candidates=20)
+    return [
+        (f"D={d // 1000}K",
+         make_classification(15_000, d, density=0.01, seed=62,
+                             name=f"b{d}"),
+         cfg)
+        for d in (2_500, 5_000, 7_500, 10_000)
+    ]
+
+
+def test_fig10b_impact_of_dimensionality(benchmark, fig10b_workloads,
+                                         binned_cache, record_table):
+    """Fig 10(b): QD2 comm grows linearly with D; QD4 comm unaffected."""
+    def run():
+        return {
+            system: sweep_points(system, fig10b_workloads, None,
+                                 binned_cache)
+            for system in ("qd2", "qd4")
+        }
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "fig10b",
+        figure10_table(
+            "Figure 10(b) — impact of dimensionality "
+            "(N=15K, C=2, L=6, W=8)", points,
+        ),
+    )
+    qd2, qd4 = points["qd2"], points["qd4"]
+    comm2 = [p.comm_bytes_per_tree for p in qd2]
+    assert comm2 == sorted(comm2)
+    assert comm2[-1] > 3.0 * comm2[0]      # ~linear in D (4x dims)
+    comm4 = [p.comm_bytes_per_tree for p in qd4]
+    assert max(comm4) < 1.2 * min(comm4)   # flat in D
+    assert comm4[-1] < comm2[-1] / 20      # vertical wins big at high D
+
+
+@pytest.fixture(scope="module")
+def fig10c_workloads():
+    dataset = make_classification(15_000, 5_000, density=0.01, seed=63,
+                                  name="c")
+    return [
+        (f"L={layers}",
+         dataset,
+         TrainConfig(num_trees=TREES, num_layers=layers,
+                     num_candidates=20))
+        for layers in (5, 7, 9)
+    ]
+
+
+def test_fig10c_impact_of_tree_depth(benchmark, fig10c_workloads,
+                                     binned_cache, record_table):
+    """Fig 10(c): QD2 comm grows ~exponentially with L (node count),
+    QD4 comm grows linearly (one placement round per layer)."""
+    def run():
+        out = {}
+        for system in ("qd2", "qd4"):
+            pts = []
+            for label, dataset, config in fig10c_workloads:
+                binned = binned_cache.get(dataset, config.num_candidates)
+                pts.append(run_point(system, binned, config, CLUSTER,
+                                     num_trees=TREES, label=label))
+            out[system] = pts
+        return out
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "fig10c",
+        figure10_table(
+            "Figure 10(c) — impact of tree depth "
+            "(N=15K, D=5K, C=2, W=8)", points,
+        ),
+    )
+    qd2, qd4 = points["qd2"], points["qd4"]
+    comm2 = [p.comm_bytes_per_tree for p in qd2]
+    comm4 = [p.comm_bytes_per_tree for p in qd4]
+    # horizontal: two more layers multiplies the (incomplete) node count;
+    # super-linear growth, ~4x for complete trees
+    assert comm2[1] > 1.8 * comm2[0]
+    assert comm2[2] > 1.6 * comm2[1]
+    assert comm2[2] > 3.0 * comm2[0]
+    # vertical: two more layers adds a constant per layer (< 2x)
+    assert comm4[1] < 2.0 * comm4[0]
+    assert comm4[2] < 2.0 * comm4[1]
+
+
+@pytest.fixture(scope="module")
+def fig10d_workloads():
+    return [
+        (f"C={classes}",
+         make_classification(15_000, 2_500, num_classes=classes,
+                             density=0.01, seed=64, name=f"d{classes}"),
+         TrainConfig(num_trees=TREES, num_layers=6, num_candidates=20,
+                     objective="multiclass", num_classes=classes))
+        for classes in (3, 5, 10)
+    ]
+
+
+def test_fig10d_impact_of_multiclass(benchmark, fig10d_workloads,
+                                     binned_cache, record_table):
+    """Fig 10(d): QD2 comm proportional to C; QD4 comm unchanged."""
+    def run():
+        return {
+            system: sweep_points(system, fig10d_workloads, None,
+                                 binned_cache)
+            for system in ("qd2", "qd4")
+        }
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "fig10d",
+        figure10_table(
+            "Figure 10(d) — impact of multi-class "
+            "(N=15K, D=2.5K, L=6, W=8)", points,
+        ),
+    )
+    qd2, qd4 = points["qd2"], points["qd4"]
+    comm2 = [p.comm_bytes_per_tree for p in qd2]
+    comm4 = [p.comm_bytes_per_tree for p in qd4]
+    # C: 3 -> 10 should scale horizontal traffic ~3.3x
+    assert comm2[2] > 2.5 * comm2[0]
+    assert max(comm4) < 1.3 * min(comm4)

@@ -1,0 +1,85 @@
+"""Table 3: average run time per tree scaled by Vero, across the eight
+public/synthetic surrogate datasets and four systems.
+
+Paper's shape: LightGBM fastest on the low-dimensional dense datasets
+(Vero suffers there); Vero fastest on the high-dimensional sparse and
+multi-class datasets, with XGBoost slowest by an order of magnitude.
+DimBoost skips multi-class (unsupported).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterConfig, TrainConfig, load_catalog
+from repro.bench.harness import run_point
+from repro.bench.report import scaled_runtime_table
+
+TREES = 2
+
+#: dataset -> (worker count per the paper, kind, instance scale).
+#: The LD surrogates run at a larger scale (N ~ 100-125K): vertical
+#: partitioning's O(N)-per-worker costs — the mechanism behind the
+#: paper's LightGBM-wins-on-low-dim result — only become visible beyond
+#: N ~ 1e5 (see EXPERIMENTS.md).
+DATASETS = {
+    "susy": (5, "LD", 2.5),
+    "higgs": (5, "LD", 4.0),
+    "criteo": (5, "LD", 4.0),
+    "epsilon": (5, "LD", 2.5),
+    "rcv1": (5, "HS", 0.25),
+    "synthesis": (8, "HS", 0.25),
+    "rcv1-multi": (8, "MC", 0.25),
+    "synthesis-multi": (8, "MC", 0.25),
+}
+
+SYSTEMS = ("xgboost", "lightgbm", "dimboost", "vero")
+
+
+@pytest.fixture(scope="module")
+def table3_rows(binned_cache):
+    rows = {}
+    for name, (workers, kind, scale) in DATASETS.items():
+        dataset = load_catalog(name, scale=scale)
+        multiclass = dataset.num_classes > 2
+        cfg = TrainConfig(
+            num_trees=TREES, num_layers=8, num_candidates=20,
+            objective="multiclass" if multiclass else "binary",
+            num_classes=dataset.num_classes,
+        )
+        binned = binned_cache.get(dataset, cfg.num_candidates)
+        cluster = ClusterConfig(num_workers=workers)
+        row = {}
+        for system in SYSTEMS:
+            if system == "dimboost" and multiclass:
+                continue  # unsupported, as in the paper
+            point = run_point(system, binned, cfg, cluster,
+                              num_trees=TREES, label=name)
+            row[system] = point.total_seconds
+        rows[name] = row
+    return rows
+
+
+def test_table3_scaled_runtimes(benchmark, table3_rows, record_table):
+    rows = benchmark.pedantic(lambda: table3_rows, rounds=1, iterations=1)
+    record_table(
+        "table3",
+        scaled_runtime_table(
+            "Table 3 — average run time per tree scaled by Vero "
+            f"({TREES} trees; LD surrogates at 250-400% scale, "
+            "HS/MC at 25%)",
+            rows, baseline="vero",
+        ),
+    )
+    # Paper shape 1: Vero is the fastest system on every high-dimensional
+    # sparse and multi-class dataset.
+    for name in ("rcv1", "synthesis", "rcv1-multi", "synthesis-multi"):
+        row = rows[name]
+        assert row["vero"] == min(row.values()), name
+    # Paper shape 2: XGBoost trails Vero by a large factor on HS/MC.
+    for name in ("rcv1", "synthesis", "rcv1-multi", "synthesis-multi"):
+        assert rows[name]["xgboost"] > 3.0 * rows[name]["vero"], name
+    # Paper shape 3: on the lowest-dimensional datasets the horizontal
+    # row-store systems beat Vero.
+    for name in ("susy", "higgs", "criteo"):
+        assert rows[name]["lightgbm"] < rows[name]["vero"], name

@@ -1,0 +1,83 @@
+"""Table 6 (Appendix B): scalability of Vero with cluster size.
+
+Two subsets of the Synthesis surrogate — one instance-heavy
+("Synthesis-N" in the paper), one feature-heavy ("Synthesis-D") — are
+trained with 2, 4, 6 and 8 workers.  Paper's shape: more machines help,
+but speedup is sublinear, and the instance-heavy subset scales worse
+because node splitting (O(N) on every worker) does not parallelize.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterConfig, TrainConfig, make_classification
+from repro.bench.harness import run_point
+from repro.bench.report import simple_table
+
+WORKERS = (2, 4, 6, 8)
+TREES = 2
+
+
+@pytest.fixture(scope="module")
+def scalability_rows(binned_cache):
+    cfg = TrainConfig(num_trees=TREES, num_layers=7, num_candidates=20)
+    subsets = {
+        # instance-heavy: many rows, modest dimensionality
+        "synthesis-N": make_classification(
+            60_000, 2_000, density=0.01, seed=71, name="syn-n",
+            num_informative=40, informative_density=0.25,
+        ),
+        # feature-heavy: fewer rows, high dimensionality
+        "synthesis-D": make_classification(
+            10_000, 12_000, density=0.005, seed=72, name="syn-d",
+            num_informative=40, informative_density=0.25,
+        ),
+    }
+    rows = {}
+    for name, dataset in subsets.items():
+        binned = binned_cache.get(dataset, cfg.num_candidates)
+        rows[name] = {
+            w: run_point("vero", binned, cfg, ClusterConfig(w),
+                         num_trees=TREES, label=f"W={w}")
+            for w in WORKERS
+        }
+    return rows
+
+
+def test_table6_scalability(benchmark, scalability_rows, record_table):
+    rows = benchmark.pedantic(lambda: scalability_rows, rounds=1,
+                              iterations=1)
+    table_rows = []
+    for name, by_w in rows.items():
+        base = by_w[WORKERS[0]].total_seconds
+        for w in WORKERS:
+            point = by_w[w]
+            table_rows.append([
+                name, f"W={w}",
+                f"{point.total_seconds * 1e3:.1f}ms",
+                f"{base / point.total_seconds:.2f}x",
+            ])
+    record_table(
+        "table6",
+        simple_table(
+            "Table 6 — Vero scalability (run time per tree and speedup "
+            "over W=2)",
+            ["dataset", "workers", "time/tree", "speedup"],
+            table_rows,
+        ),
+    )
+    for name, by_w in rows.items():
+        times = [by_w[w].total_seconds for w in WORKERS]
+        # more workers help overall...
+        assert times[-1] < times[0], name
+        # ...but speedup is sublinear (paper: 2.6x / 1.6x at 4x machines)
+        speedup = times[0] / times[-1]
+        assert speedup < WORKERS[-1] / WORKERS[0] * 1.5, name
+    # the feature-heavy subset scales at least as well as the
+    # instance-heavy one (node splitting dominates when N is large)
+    speedup_n = (rows["synthesis-N"][2].total_seconds
+                 / rows["synthesis-N"][8].total_seconds)
+    speedup_d = (rows["synthesis-D"][2].total_seconds
+                 / rows["synthesis-D"][8].total_seconds)
+    assert speedup_d > 0.6 * speedup_n

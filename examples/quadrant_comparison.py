@@ -1,0 +1,95 @@
+"""Compare the four data-management quadrants on one workload.
+
+Reproduces the methodology of Section 5.2 in miniature: the same binned
+dataset is trained by QD1 (horizontal+column, XGBoost style), QD2
+(horizontal+row, LightGBM style), QD3 (vertical+column, Yggdrasil style)
+and QD4 (vertical+row, Vero), and the per-tree computation/communication
+breakdown plus the memory split are printed side by side.  Finish with the
+Table 1 recommendation for the workload's regime.
+
+Usage::
+
+    python examples/quadrant_comparison.py [--high-dim | --low-dim |
+                                            --multiclass]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ClusterConfig, TrainConfig, make_classification
+from repro.bench.harness import run_point
+from repro.data.dataset import bin_dataset
+
+WORKLOADS = {
+    # name: (N, D, C, density, description)
+    "low-dim": (60_000, 50, 2, 1.0,
+                "many instances, few features (SUSY/Higgs regime)"),
+    "high-dim": (8_000, 8_000, 2, 0.01,
+                 "high-dimensional sparse (RCV1/Synthesis regime)"),
+    "multiclass": (10_000, 1_500, 8, 0.02,
+                   "multi-classification (RCV1-multi regime)"),
+}
+
+QUADRANTS = [
+    ("qd1", "QD1 horiz+col"),
+    ("qd2", "QD2 horiz+row"),
+    ("qd3", "QD3 vert+col"),
+    ("qd4", "QD4 vert+row"),
+]
+
+
+def recommend(num_instances: int, num_features: int,
+              num_classes: int) -> str:
+    """Table 1 advice for a workload's regime."""
+    if num_features >= 1000 or num_classes > 2:
+        return ("QD4 (Vero): vertical partitioning avoids huge histogram "
+                "aggregation; row-store keeps construction cheap.")
+    if num_instances >= num_features * 100:
+        return ("QD2 (LightGBM style): low dimensionality keeps "
+                "histograms small, so horizontal aggregation is cheap "
+                "and instances spread across workers.")
+    return "QD4 or QD2 — the regimes are close; measure both."
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    group = parser.add_mutually_exclusive_group()
+    for name in WORKLOADS:
+        group.add_argument(f"--{name}", dest="workload",
+                           action="store_const", const=name)
+    parser.set_defaults(workload="high-dim")
+    args = parser.parse_args()
+
+    n, d, c, density, description = WORKLOADS[args.workload]
+    print(f"workload: {args.workload} — {description}")
+    print(f"  N={n:,}  D={d:,}  C={c}  density={density}")
+
+    objective = "multiclass" if c > 2 else "binary"
+    dataset = make_classification(n, d, num_classes=c, density=density,
+                                  seed=7, name=args.workload)
+    config = TrainConfig(num_trees=3, num_layers=6, num_candidates=20,
+                         objective=objective, num_classes=c)
+    cluster = ClusterConfig(num_workers=8)
+    binned = bin_dataset(dataset, config.num_candidates)
+
+    print(f"\n{'quadrant':<16} {'comp/tree':>12} {'comm/tree':>12} "
+          f"{'total':>12} {'wire/tree':>12} {'hist mem':>12}")
+    rows = []
+    for system_name, label in QUADRANTS:
+        point = run_point(system_name, binned, config, cluster,
+                          num_trees=config.num_trees, label=label)
+        rows.append((label, point))
+        print(f"{label:<16} {point.comp_seconds * 1e3:>10.1f}ms "
+              f"{point.comm_seconds * 1e3:>10.1f}ms "
+              f"{point.total_seconds * 1e3:>10.1f}ms "
+              f"{point.comm_bytes_per_tree / 1e6:>10.2f}MB "
+              f"{point.histogram_bytes / 1e6:>10.2f}MB")
+
+    winner = min(rows, key=lambda r: r[1].total_seconds)[0]
+    print(f"\nfastest on this workload: {winner}")
+    print(f"Table 1 recommendation  : {recommend(n, d, c)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy setup shim: environments without the `wheel` package cannot build
+PEP 660 editable wheels, so `pip install -e . --no-build-isolation
+--no-use-pep517` uses this file instead."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

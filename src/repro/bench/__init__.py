@@ -1,0 +1,1 @@
+"""Benchmark harness: experiment runner and paper-style report formatting."""

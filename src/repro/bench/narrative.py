@@ -1,0 +1,71 @@
+"""Human-readable run summaries.
+
+Turns a :class:`~repro.systems.base.DistTrainResult` into the compact
+narrative report the examples and CLI print: per-tree cost, computation
+phase breakdown (Section 3.2.4 vocabulary), traffic by kind, memory
+split, and the convergence tail.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..systems.base import DistTrainResult
+
+
+def _human_bytes(value: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(value) < 1024 or unit == "GB":
+            return f"{value:.2f} {unit}"
+        value /= 1024
+    return f"{value:.2f} GB"
+
+
+def run_summary(result: DistTrainResult, title: str = "run") -> str:
+    """Multi-line narrative summary of one distributed training run."""
+    lines: List[str] = [title, "=" * len(title)]
+    num_trees = max(len(result.tree_reports), 1)
+    lines.append(
+        f"trees: {len(result.tree_reports)}  |  per tree: "
+        f"comp {result.mean_comp_seconds() * 1e3:.1f} ms, "
+        f"comm {result.mean_comm_seconds() * 1e3:.1f} ms "
+        f"(+/- {result.std_tree_seconds() * 1e3:.1f} ms)"
+    )
+
+    # computation phase breakdown, averaged over trees
+    phases: dict = {}
+    for report in result.tree_reports:
+        for phase, seconds in report.phase_seconds.items():
+            phases[phase] = phases.get(phase, 0.0) + seconds
+    if phases:
+        total = sum(phases.values()) or 1.0
+        parts = ", ".join(
+            f"{phase} {seconds / num_trees * 1e3:.1f} ms "
+            f"({seconds / total:.0%})"
+            for phase, seconds in sorted(phases.items(),
+                                         key=lambda kv: -kv[1])
+        )
+        lines.append(f"computation phases: {parts}")
+
+    # traffic by kind
+    if result.comm.bytes_by_kind:
+        parts = ", ".join(
+            f"{kind} {_human_bytes(nbytes / num_trees)}/tree"
+            for kind, nbytes in sorted(result.comm.bytes_by_kind.items(),
+                                       key=lambda kv: -kv[1])
+        )
+        lines.append(f"traffic: {parts}")
+
+    lines.append(
+        f"peak worker memory: data {_human_bytes(result.memory.data_bytes)}"
+        f", histograms {_human_bytes(result.memory.histogram_bytes)}"
+    )
+
+    if result.evals:
+        first, last = result.evals[0], result.evals[-1]
+        lines.append(
+            f"convergence: {first.metric_name} "
+            f"{first.metric_value:.4f} -> {last.metric_value:.4f} "
+            f"in {last.elapsed_seconds:.2f} simulated seconds"
+        )
+    return "\n".join(lines)

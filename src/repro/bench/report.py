@@ -1,0 +1,129 @@
+"""Formatting of experiment results as the paper's tables and figures.
+
+Figures become text tables whose rows are the figure's series; tables keep
+the paper's row/column structure.  Every bench prints through here so the
+output is directly comparable with the paper (EXPERIMENTS.md records the
+side-by-side).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .harness import ExperimentPoint
+
+
+def _fmt_seconds(value: float, std: float = None) -> str:
+    if std is None:
+        return f"{value:9.4f}s"
+    return f"{value:9.4f}s ±{std:7.4f}"
+
+
+def _fmt_bytes(value: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(value) < 1024 or unit == "GB":
+            return f"{value:8.1f}{unit}"
+        value /= 1024
+    return f"{value:8.1f}GB"
+
+
+def figure10_table(
+    title: str, points_by_system: Dict[str, List[ExperimentPoint]]
+) -> str:
+    """Time-breakdown table mirroring one panel of Figure 10."""
+    lines = [title, "-" * len(title)]
+    header = (
+        f"{'system':<14} {'workload':<12} {'comp/tree':<22} "
+        f"{'comm/tree':<22} {'wire/tree':>12}"
+    )
+    lines.append(header)
+    for system, points in points_by_system.items():
+        for p in points:
+            lines.append(
+                f"{system:<14} {p.label:<12} "
+                f"{_fmt_seconds(p.comp_seconds, p.comp_std):<22} "
+                f"{_fmt_seconds(p.comm_seconds, p.comm_std):<22} "
+                f"{_fmt_bytes(p.comm_bytes_per_tree):>12}"
+            )
+    return "\n".join(lines)
+
+
+def memory_table(
+    title: str, points_by_system: Dict[str, List[ExperimentPoint]]
+) -> str:
+    """Memory-breakdown table mirroring Figure 10(e)/(f)."""
+    lines = [title, "-" * len(title)]
+    lines.append(
+        f"{'system':<14} {'workload':<12} {'data':>12} {'histogram':>12}"
+    )
+    for system, points in points_by_system.items():
+        for p in points:
+            lines.append(
+                f"{system:<14} {p.label:<12} "
+                f"{_fmt_bytes(p.data_bytes):>12} "
+                f"{_fmt_bytes(p.histogram_bytes):>12}"
+            )
+    return "\n".join(lines)
+
+
+def scaled_runtime_table(
+    title: str,
+    rows: Dict[str, Dict[str, float]],
+    baseline: str,
+) -> str:
+    """Table 3 style: per-tree time scaled by a baseline system."""
+    systems = sorted({s for row in rows.values() for s in row})
+    # show the baseline last, like the paper
+    if baseline in systems:
+        systems.remove(baseline)
+        systems.append(baseline)
+    lines = [title, "-" * len(title)]
+    lines.append(
+        f"{'dataset':<18}" + "".join(f"{s:>16}" for s in systems)
+    )
+    for dataset, row in rows.items():
+        base = row.get(baseline)
+        cells = []
+        for system in systems:
+            value = row.get(system)
+            if value is None or base is None or base == 0:
+                cells.append(f"{'-':>16}")
+            else:
+                cells.append(f"{value / base:>15.1f}x")
+        lines.append(f"{dataset:<18}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def convergence_series(
+    title: str, evals_by_system: Dict[str, Sequence]
+) -> str:
+    """Figure 11/12 style: metric vs cumulative simulated seconds."""
+    lines = [title, "-" * len(title)]
+    for system, evals in evals_by_system.items():
+        if not evals:
+            continue
+        samples = list(evals)
+        stride = max(len(samples) // 8, 1)
+        picked = samples[::stride]
+        if picked[-1] is not samples[-1]:
+            picked.append(samples[-1])
+        series = "  ".join(
+            f"({e.elapsed_seconds:7.2f}s, {e.metric_value:.4f})"
+            for e in picked
+        )
+        lines.append(f"{system:<14} {samples[0].metric_name}: {series}")
+    return "\n".join(lines)
+
+
+def simple_table(title: str, header: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Generic aligned table used by the appendix benches."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def fmt(cells) -> str:
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    lines = [title, "-" * len(title), fmt(header)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

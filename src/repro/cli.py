@@ -1,0 +1,227 @@
+"""Command-line interface.
+
+Four subcommands cover the everyday workflows:
+
+* ``repro datagen`` — generate a synthetic or catalog dataset to libsvm;
+* ``repro train``   — train any quadrant system on a libsvm file or a
+  catalog surrogate, optionally saving the model;
+* ``repro predict`` — score a libsvm file with a saved model;
+* ``repro advise``  — run the data-management advisor on a workload
+  description (Section 6's open problem).
+
+Run ``python -m repro.cli <command> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import __version__
+from .config import ClusterConfig, NetworkModel, TrainConfig
+from .core.serialize import load_ensemble, save_ensemble
+from .data import catalog
+from .data.io import read_libsvm, write_libsvm
+from .data.synthetic import make_classification
+from .systems import make_system
+from .systems.advisor import recommend
+from .systems.costmodel import WorkloadShape
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed GBDT data-management testbed "
+                    "(VLDB 2019 reproduction)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("datagen", help="generate a dataset to libsvm")
+    gen.add_argument("output", help="output libsvm path")
+    gen.add_argument("--catalog", help="catalog surrogate name "
+                                       f"({', '.join(catalog.CATALOG)})")
+    gen.add_argument("--instances", type=int, default=10_000)
+    gen.add_argument("--features", type=int, default=100)
+    gen.add_argument("--classes", type=int, default=2)
+    gen.add_argument("--density", type=float, default=0.2)
+    gen.add_argument("--scale", type=float, default=1.0,
+                     help="instance-count multiplier for --catalog")
+    gen.add_argument("--seed", type=int, default=0)
+
+    train = sub.add_parser("train", help="train a quadrant system")
+    train.add_argument("--data", help="libsvm training file")
+    train.add_argument("--catalog", help="or: catalog surrogate name")
+    train.add_argument("--scale", type=float, default=1.0)
+    train.add_argument("--system", default="vero",
+                       help="qd1/xgboost, qd2/lightgbm, dimboost, "
+                            "qd3/yggdrasil, qd4/vero, lightgbm-fp")
+    train.add_argument("--trees", type=int, default=20)
+    train.add_argument("--layers", type=int, default=6)
+    train.add_argument("--candidates", type=int, default=20)
+    train.add_argument("--learning-rate", type=float, default=0.3)
+    train.add_argument("--classes", type=int, default=2)
+    train.add_argument("--workers", type=int, default=8)
+    train.add_argument("--bandwidth-gbps", type=float, default=1.0)
+    train.add_argument("--valid-fraction", type=float, default=0.2)
+    train.add_argument("--model-out", help="save the model as JSON")
+    train.add_argument("--seed", type=int, default=0)
+
+    predict = sub.add_parser("predict",
+                             help="score a libsvm file with a model")
+    predict.add_argument("model", help="model JSON from `repro train`")
+    predict.add_argument("data", help="libsvm file to score")
+    predict.add_argument("--output", help="write predictions here "
+                                          "(default: stdout)")
+
+    advise = sub.add_parser(
+        "advise", help="recommend a data-management quadrant"
+    )
+    advise.add_argument("--instances", type=int, required=True)
+    advise.add_argument("--features", type=int, required=True)
+    advise.add_argument("--classes", type=int, default=2)
+    advise.add_argument("--nnz-per-instance", type=float, required=True)
+    advise.add_argument("--workers", type=int, default=8)
+    advise.add_argument("--layers", type=int, default=8)
+    advise.add_argument("--candidates", type=int, default=20)
+    advise.add_argument("--bandwidth-gbps", type=float, default=1.0)
+    advise.add_argument("--memory-budget-gb", type=float)
+
+    return parser
+
+
+def _load_training_data(args):
+    if bool(args.data) == bool(args.catalog):
+        raise SystemExit("specify exactly one of --data or --catalog")
+    if args.catalog:
+        return catalog.load(args.catalog, scale=args.scale)
+    task = "multiclass" if args.classes > 2 else "binary"
+    return read_libsvm(args.data, task=task, num_classes=args.classes)
+
+
+def cmd_datagen(args) -> int:
+    if args.catalog:
+        dataset = catalog.load(args.catalog, scale=args.scale)
+    else:
+        dataset = make_classification(
+            args.instances, args.features, num_classes=args.classes,
+            density=args.density, seed=args.seed,
+        )
+    write_libsvm(dataset, args.output)
+    print(f"wrote {dataset.num_instances} x {dataset.num_features} "
+          f"({dataset.features.nnz} nonzeros) to {args.output}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    dataset = _load_training_data(args)
+    num_classes = max(args.classes, dataset.num_classes)
+    multiclass = dataset.task == "multiclass"
+    config = TrainConfig(
+        num_trees=args.trees,
+        num_layers=args.layers,
+        num_candidates=args.candidates,
+        learning_rate=args.learning_rate,
+        objective="multiclass" if multiclass else "binary",
+        num_classes=num_classes if multiclass else 2,
+    )
+    cluster = ClusterConfig(
+        num_workers=args.workers,
+        network=NetworkModel(bandwidth_gbps=args.bandwidth_gbps),
+    )
+    train, valid = dataset.split(1.0 - args.valid_fraction,
+                                 seed=args.seed)
+    system = make_system(args.system, config, cluster)
+    result = system.fit(train, valid=valid)
+    last = result.evals[-1]
+    print(f"system={system.name} quadrant={system.quadrant} "
+          f"workers={args.workers}")
+    print(f"final {last.metric_name}={last.metric_value:.4f} after "
+          f"{len(result.ensemble)} trees "
+          f"({last.elapsed_seconds:.2f}s simulated)")
+    wire_mb = result.comm.total_bytes / len(result.ensemble) / 1e6
+    print(f"per tree: comp={result.mean_comp_seconds() * 1e3:.1f}ms "
+          f"comm={result.mean_comm_seconds() * 1e3:.1f}ms "
+          f"wire={wire_mb:.2f}MB")
+    print(f"peak worker memory: data="
+          f"{result.memory.data_bytes / 1e6:.2f}MB histograms="
+          f"{result.memory.histogram_bytes / 1e6:.2f}MB")
+    if args.model_out:
+        save_ensemble(result.ensemble, args.model_out,
+                      objective=config.objective,
+                      num_classes=config.num_classes)
+        print(f"model saved to {args.model_out}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    ensemble = load_ensemble(args.model)
+    dataset = read_libsvm(args.data, task="regression")
+    scores = ensemble.raw_scores(dataset.csc())
+    if ensemble.gradient_dim == 1:
+        from .core.loss import sigmoid
+
+        preds = sigmoid(scores).ravel()
+        lines = [f"{p:.6f}" for p in preds]
+    else:
+        from .core.loss import softmax
+
+        preds = softmax(scores)
+        lines = [
+            " ".join(f"{p:.6f}" for p in row) for row in preds
+        ]
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(lines)} predictions to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_advise(args) -> int:
+    shape = WorkloadShape(
+        num_instances=args.instances,
+        num_features=args.features,
+        num_workers=args.workers,
+        num_layers=args.layers,
+        num_candidates=args.candidates,
+        num_classes=args.classes if args.classes > 2 else 1,
+    )
+    budget = (args.memory_budget_gb * 2**30
+              if args.memory_budget_gb else None)
+    rec = recommend(
+        shape, args.nnz_per_instance,
+        network=NetworkModel(bandwidth_gbps=args.bandwidth_gbps),
+        memory_budget_bytes=budget,
+    )
+    print(f"recommendation: {rec.best.quadrant} "
+          f"({rec.best.description})")
+    for reason in rec.reasons:
+        print(f"  - {reason}")
+    print("\nper-quadrant estimates (per tree):")
+    for est in rec.ranking:
+        print(f"  {est.quadrant}: comp={est.comp_seconds * 1e3:9.1f}ms "
+              f"comm={est.comm_seconds * 1e3:9.1f}ms "
+              f"hist-mem={est.histogram_memory_bytes / 2**30:7.2f}GiB")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datagen": cmd_datagen,
+        "train": cmd_train,
+        "predict": cmd_predict,
+        "advise": cmd_advise,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,2 @@
+"""Distributed-cluster simulation: network, collectives, partitioning,
+the horizontal-to-vertical transformation, blocks and bitmaps."""

@@ -1,0 +1,200 @@
+"""Communication collectives with exact cost accounting.
+
+Each helper physically performs the data movement (in process) and charges
+the :class:`~repro.cluster.network.SimulatedNetwork` with the bytes and the
+simulated wall time of the collective, using the standard cost
+decompositions [36 in the paper]:
+
+* **ring all-reduce** — every worker sends ``2 * (W-1)/W * size`` bytes;
+  elapsed time is that amount over the per-link bandwidth.  Used by QD1
+  (XGBoost-style histogram aggregation).
+* **reduce-scatter** — every worker sends ``(W-1)/W * size`` bytes and ends
+  up owning one shard of the reduction.  Used by QD2 (LightGBM-style).
+* **parameter-server push** — every worker pushes its full payload, sharded
+  across ``W`` servers in parallel; the per-server receive bottleneck is
+  ``size / W * W = size`` bytes per round but spread over ``W`` links, so
+  elapsed time is ``size / W`` over one link times the congestion factor 1.
+  Used by the DimBoost flavour of QD2.
+* **broadcast / gather** — flat-tree models for the small split metadata
+  and the instance-placement bitmaps of the vertical quadrants.
+
+All byte counts use the paper's conventions: 8-byte doubles for histogram
+bins, bitmap placements at one bit per instance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.histogram import Histogram
+from .network import SimulatedNetwork
+
+#: serialized size of one SplitInfo (feature id, bin, default flag, gain)
+SPLIT_INFO_BYTES = 4 + 4 + 1 + 8
+
+
+def record_collective(
+    net: SimulatedNetwork,
+    kind: str,
+    payload_bytes: int,
+    num_workers: int,
+    pattern: str,
+) -> float:
+    """Charge one collective operation over ``payload_bytes`` of payload.
+
+    Real systems batch all histograms of a tree layer into a single
+    collective, so latency is paid once per layer, not once per node —
+    callers accumulate a layer's payload and charge it here.  ``pattern``
+    selects the standard cost decomposition [36]:
+
+    * ``allreduce`` — ring: each worker sends ``2 (W-1)/W`` of the payload.
+    * ``reducescatter`` — ring half: ``(W-1)/W`` of the payload.
+    * ``ps`` — parameter-server push: the full payload per worker,
+      range-sharded over ``W`` servers in parallel.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be >= 0")
+    if num_workers == 1 or payload_bytes == 0:
+        return 0.0
+    bps = net.model.bytes_per_second
+    lat = net.model.latency_s
+    if pattern == "allreduce":
+        per_worker = 2 * (num_workers - 1) / num_workers * payload_bytes
+        seconds = per_worker / bps + 2 * (num_workers - 1) * lat
+    elif pattern == "reducescatter":
+        per_worker = (num_workers - 1) / num_workers * payload_bytes
+        seconds = per_worker / bps + (num_workers - 1) * lat
+    elif pattern == "ps":
+        per_worker = payload_bytes
+        seconds = payload_bytes / bps + num_workers * lat
+    else:
+        raise ValueError(f"unknown collective pattern: {pattern!r}")
+    net.record(kind, int(per_worker * num_workers), seconds)
+    return seconds
+
+
+def allreduce_histograms(
+    hists: Sequence[Histogram], net: Optional[SimulatedNetwork],
+    kind: str = "allreduce-hist",
+) -> Histogram:
+    """Element-wise sum of per-worker histograms, result on every worker.
+
+    Pass ``net=None`` to perform only the data movement and charge the
+    traffic separately (layer batching via :func:`record_collective`).
+    """
+    if not hists:
+        raise ValueError("allreduce requires at least one histogram")
+    result = hists[0].copy()
+    for hist in hists[1:]:
+        result.add_inplace(hist)
+    if net is not None:
+        record_collective(net, kind, result.nbytes, len(hists),
+                          "allreduce")
+    return result
+
+
+def reduce_scatter_histograms(
+    hists: Sequence[Histogram],
+    feature_shards: Sequence[np.ndarray],
+    net: Optional[SimulatedNetwork],
+    kind: str = "reducescatter-hist",
+) -> List[Histogram]:
+    """Sum per-worker histograms; worker ``w`` receives the features in
+    ``feature_shards[w]`` of the sum (renumbered from 0).
+
+    Pass ``net=None`` to charge the traffic separately (layer batching).
+    """
+    if not hists:
+        raise ValueError("reduce-scatter requires at least one histogram")
+    total = hists[0].copy()
+    for hist in hists[1:]:
+        total.add_inplace(hist)
+    if net is not None:
+        record_collective(net, kind, total.nbytes, len(hists),
+                          "reducescatter")
+    grad_view = total.grad_view()
+    hess_view = total.hess_view()
+    shards: List[Histogram] = []
+    for features in feature_shards:
+        features = np.asarray(features, dtype=np.int64)
+        piece = Histogram(max(features.size, 1), total.num_bins,
+                          total.gradient_dim)
+        if features.size:
+            piece.grad[:] = grad_view[features].reshape(piece.grad.shape)
+            piece.hess[:] = hess_view[features].reshape(piece.hess.shape)
+        shards.append(piece)
+    return shards
+
+
+def ps_push_histograms(
+    hists: Sequence[Histogram], net: Optional[SimulatedNetwork],
+    kind: str = "ps-push-hist",
+) -> Histogram:
+    """Parameter-server aggregation (DimBoost flavour).
+
+    Pass ``net=None`` to charge the traffic separately (layer batching).
+    """
+    if not hists:
+        raise ValueError("ps push requires at least one histogram")
+    result = hists[0].copy()
+    for hist in hists[1:]:
+        result.add_inplace(hist)
+    if net is not None:
+        record_collective(net, kind, result.nbytes, len(hists), "ps")
+    return result
+
+
+def broadcast_bytes(
+    nbytes: int, num_workers: int, net: SimulatedNetwork,
+    kind: str = "broadcast",
+) -> float:
+    """Flat-tree broadcast from one owner to the other ``W - 1`` workers."""
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    receivers = num_workers - 1
+    if receivers == 0 or nbytes == 0:
+        return 0.0
+    seconds = (
+        receivers * nbytes / net.model.bytes_per_second
+        + net.model.latency_s
+    )
+    net.record(kind, receivers * nbytes, seconds)
+    return seconds
+
+
+def gather_bytes(
+    nbytes_each: int, num_workers: int, net: SimulatedNetwork,
+    kind: str = "gather",
+) -> float:
+    """Master gathers ``nbytes_each`` from every other worker."""
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    senders = num_workers - 1
+    if senders == 0 or nbytes_each == 0:
+        return 0.0
+    seconds = (
+        senders * nbytes_each / net.model.bytes_per_second
+        + net.model.latency_s
+    )
+    net.record(kind, senders * nbytes_each, seconds)
+    return seconds
+
+
+def exchange_split_infos(
+    num_candidates: int, num_workers: int, net: SimulatedNetwork,
+    kind: str = "split-exchange",
+) -> float:
+    """Account the exchange of ``num_candidates`` local best splits."""
+    nbytes = num_candidates * SPLIT_INFO_BYTES
+    if num_workers <= 1 or nbytes == 0:
+        return 0.0
+    seconds = (
+        nbytes * (num_workers - 1) / net.model.bytes_per_second
+        + net.model.latency_s
+    )
+    net.record(kind, nbytes * (num_workers - 1), seconds)
+    return seconds

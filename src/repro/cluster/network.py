@@ -1,0 +1,100 @@
+"""Simulated network with exact byte and time accounting.
+
+Every inter-worker transfer in the simulated cluster is recorded here.
+Computation runs for real (numpy kernels, measured with a wall clock);
+communication is *simulated*: each logical operation contributes
+``latency + bytes / bandwidth`` seconds according to the collective's cost
+decomposition in :mod:`repro.cluster.comm`.  The paper's communication
+results (Figures 10, 12; Section 3.1.3) are functions of exactly these two
+quantities — bytes on the wire and the bandwidth they cross — so the shape
+of every result is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..config import NetworkModel
+
+
+@dataclass
+class CommRecord:
+    """One recorded communication operation."""
+
+    kind: str
+    nbytes: int
+    seconds: float
+
+
+@dataclass
+class CommStats:
+    """Aggregate snapshot of traffic (totals since construction/reset)."""
+
+    total_bytes: int = 0
+    total_seconds: float = 0.0
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    seconds_by_kind: Dict[str, float] = field(default_factory=dict)
+
+    def minus(self, earlier: "CommStats") -> "CommStats":
+        """Traffic between two snapshots."""
+        delta = CommStats(
+            total_bytes=self.total_bytes - earlier.total_bytes,
+            total_seconds=self.total_seconds - earlier.total_seconds,
+        )
+        for key, val in self.bytes_by_kind.items():
+            prev = earlier.bytes_by_kind.get(key, 0)
+            if val - prev:
+                delta.bytes_by_kind[key] = val - prev
+        for key, val in self.seconds_by_kind.items():
+            prev = earlier.seconds_by_kind.get(key, 0.0)
+            if val - prev:
+                delta.seconds_by_kind[key] = val - prev
+        return delta
+
+
+class SimulatedNetwork:
+    """Byte/time ledger of the simulated cluster interconnect."""
+
+    def __init__(self, model: NetworkModel) -> None:
+        self.model = model
+        self.records: List[CommRecord] = []
+        self._stats = CommStats()
+
+    def record(self, kind: str, nbytes: int, seconds: float) -> None:
+        """Account one already-costed operation."""
+        nbytes = int(nbytes)
+        if nbytes < 0 or seconds < 0:
+            raise ValueError("bytes and seconds must be >= 0")
+        self.records.append(CommRecord(kind, nbytes, seconds))
+        self._stats.total_bytes += nbytes
+        self._stats.total_seconds += seconds
+        self._stats.bytes_by_kind[kind] = (
+            self._stats.bytes_by_kind.get(kind, 0) + nbytes
+        )
+        self._stats.seconds_by_kind[kind] = (
+            self._stats.seconds_by_kind.get(kind, 0.0) + seconds
+        )
+
+    def transfer(self, kind: str, nbytes: int) -> float:
+        """Account a point-to-point transfer; returns its simulated time."""
+        seconds = self.model.transfer_time(nbytes)
+        self.record(kind, nbytes, seconds)
+        return seconds
+
+    def snapshot(self) -> CommStats:
+        """Copy of the running totals (cheap; safe to diff later)."""
+        return CommStats(
+            total_bytes=self._stats.total_bytes,
+            total_seconds=self._stats.total_seconds,
+            bytes_by_kind=dict(self._stats.bytes_by_kind),
+            seconds_by_kind=dict(self._stats.seconds_by_kind),
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self._stats.total_bytes
+
+    @property
+    def total_seconds(self) -> float:
+        return self._stats.total_seconds

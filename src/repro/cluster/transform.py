@@ -1,0 +1,265 @@
+"""Horizontal-to-vertical transformation (Section 4.2.1, Figure 8).
+
+Training data arrives horizontally partitioned (each worker holds a row
+range, as it would from HDFS file splits); Vero repartitions it vertically
+in five steps:
+
+1. **Build quantile sketches** — one mergeable sketch per feature per
+   worker; local sketches of one feature travel to a single worker and are
+   merged into a global sketch.
+2. **Generate candidate splits** — evenly spaced quantiles of each merged
+   sketch; the master collects and broadcasts them.
+3. **Column grouping** — each worker regroups its shard by destination
+   worker, re-encoding every key-value pair as
+   ``(group-local feature id, histogram bin index)`` — the lossless
+   compression of the paper (bin indexes leave histograms unchanged).
+4. **Repartition column groups** — all-to-all shuffle; with the blockify
+   optimization each fragment ships as one block of three arrays instead
+   of per-instance objects.
+5. **Broadcast instance labels** — so every worker can compute gradients.
+
+Three repartition encodings are modelled, matching Appendix A / Table 5:
+``naive`` (12-byte raw pairs), ``compressed`` (encoded pairs, still
+per-instance objects) and ``blockified`` (encoded pairs in blocks — Vero).
+Computation is measured; network and serialization time is simulated from
+accounted bytes/objects.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import ClusterConfig
+from ..data.dataset import BinnedDataset, Dataset, apply_cuts
+from ..data.matrix import CSRMatrix
+from ..sketch.proposer import propose_candidates
+from ..sketch.quantile import MergingSketch
+from .blocks import Block, BlockedColumnGroup, blockify_shard
+from .network import SimulatedNetwork
+from .partition import greedy_column_groups, horizontal_row_ranges
+
+#: bytes of one raw key-value pair: 4-byte feature id + 8-byte double value
+NAIVE_PAIR_BYTES = 12
+#: simulated (de)serialization cost of one shipped object
+SERIALIZATION_SECONDS_PER_OBJECT = 5e-7
+#: simulated disk bandwidth for the "load data" step (bytes/second)
+DISK_BYTES_PER_SECOND = 100e6
+#: bytes per instance on disk per stored pair, libsvm-style text
+DISK_BYTES_PER_PAIR = 13
+
+
+def compressed_pair_bytes(group_size: int, num_bins: int) -> int:
+    """Encoded size of one pair after step 3 (Section 4.2.1).
+
+    Feature ids are renumbered inside the group (``ceil(log2 p)`` bits)
+    and values become bin indexes (``ceil(log2 q)`` bits); both round up
+    to whole bytes, minimum one each.
+    """
+    fid_bytes = max(math.ceil(math.log2(max(group_size, 2)) / 8), 1)
+    bin_bytes = max(math.ceil(math.log2(max(num_bins, 2)) / 8), 1)
+    return fid_bytes + bin_bytes
+
+
+@dataclass
+class TransformReport:
+    """Per-step costs of one transformation run (Table 5 columns)."""
+
+    load_data_seconds: float = 0.0
+    get_splits_seconds: float = 0.0
+    repartition_seconds: Dict[str, float] = field(default_factory=dict)
+    repartition_bytes: Dict[str, int] = field(default_factory=dict)
+    broadcast_label_seconds: float = 0.0
+    broadcast_label_bytes: int = 0
+    sketch_bytes: int = 0
+    compression_ratio: float = 1.0
+
+    def total_seconds(self, encoding: str = "blockified") -> float:
+        return (
+            self.load_data_seconds
+            + self.get_splits_seconds
+            + self.repartition_seconds.get(encoding, 0.0)
+            + self.broadcast_label_seconds
+        )
+
+
+@dataclass
+class TransformResult:
+    """Vertically repartitioned dataset plus the cost report."""
+
+    shards: List[BinnedDataset]
+    groups: List[np.ndarray]
+    blocked_groups: List[BlockedColumnGroup]
+    cuts: List[np.ndarray]
+    report: TransformReport
+    global_binned: BinnedDataset
+
+
+def horizontal_to_vertical(
+    dataset: Dataset,
+    cluster: ClusterConfig,
+    num_candidates: int,
+    net: Optional[SimulatedNetwork] = None,
+    sketch_eps: float = 0.005,
+) -> TransformResult:
+    """Run the full five-step transformation on a raw dataset."""
+    if net is None:
+        net = SimulatedNetwork(cluster.network)
+    num_workers = cluster.num_workers
+    report = TransformReport()
+    ranges = horizontal_row_ranges(dataset.num_instances, num_workers)
+    raw_shards = [dataset.features.select_rows(rows) for rows in ranges]
+
+    # Step 0 (context): loading horizontally partitioned data from the
+    # distributed filesystem — simulated from a libsvm-style on-disk size.
+    per_worker_disk = max(
+        shard.nnz * DISK_BYTES_PER_PAIR + shard.num_rows * 2
+        for shard in raw_shards
+    )
+    report.load_data_seconds = per_worker_disk / DISK_BYTES_PER_SECOND
+
+    # Steps 1-2: sketches -> merged -> candidate splits (measured).
+    start = time.perf_counter()
+    cuts, sketch_bytes = _sketch_candidates(
+        raw_shards, dataset.num_features, num_candidates, sketch_eps
+    )
+    report.get_splits_seconds = (
+        time.perf_counter() - start
+    ) / num_workers + net.model.transfer_time(sketch_bytes)
+    report.sketch_bytes = sketch_bytes
+    net.record("sketch-repartition", sketch_bytes,
+               net.model.transfer_time(sketch_bytes))
+    # master broadcasts the candidate splits
+    split_bytes = sum(c.size for c in cuts) * 8 * (num_workers - 1)
+    net.record("split-broadcast", split_bytes,
+               net.model.transfer_time(split_bytes))
+
+    # Step 3: bin each shard and regroup columns by destination worker.
+    binned_shards = [apply_cuts(shard, cuts) for shard in raw_shards]
+    pairs_per_feature = np.zeros(dataset.num_features, dtype=np.int64)
+    for shard in binned_shards:
+        counts = np.bincount(shard.indices,
+                             minlength=dataset.num_features)
+        pairs_per_feature += counts
+    groups = greedy_column_groups(pairs_per_feature, num_workers)
+
+    # Step 4: repartition — account all three encodings, materialize blocks.
+    _account_repartition(
+        report, net, binned_shards, groups, num_candidates, num_workers
+    )
+    blocked_groups: List[BlockedColumnGroup] = []
+    for group in groups:
+        blocks = [
+            blockify_shard(
+                binned_shards[w].select_cols(group), int(ranges[w][0])
+            )
+            for w in range(num_workers)
+            if ranges[w].size
+        ]
+        blocked_groups.append(
+            BlockedColumnGroup(blocks, group.size).merge(max_blocks=5)
+        )
+
+    # Step 5: broadcast labels.
+    label_bytes = dataset.num_instances * 4 * (num_workers - 1)
+    report.broadcast_label_bytes = label_bytes
+    report.broadcast_label_seconds = net.model.transfer_time(label_bytes)
+    net.record("label-broadcast", label_bytes,
+               report.broadcast_label_seconds)
+
+    # Materialize the per-worker vertical BinnedDatasets for training.
+    global_binned = BinnedDataset(
+        _concat_rows(binned_shards, dataset.num_features),
+        list(cuts), dataset.labels, num_candidates, dataset.task,
+        dataset.num_classes, name=dataset.name,
+    )
+    shards = [
+        global_binned.select_features(group,
+                                      name=f"{dataset.name}-g{w}")
+        for w, group in enumerate(groups)
+    ]
+    return TransformResult(shards, groups, blocked_groups, list(cuts),
+                           report, global_binned)
+
+
+def _sketch_candidates(
+    raw_shards: List[CSRMatrix],
+    num_features: int,
+    num_candidates: int,
+    sketch_eps: float,
+) -> Tuple[List[np.ndarray], int]:
+    """Steps 1-2: per-worker sketches, merge, propose candidates."""
+    merged: List[Optional[MergingSketch]] = [None] * num_features
+    sketch_bytes = 0
+    for shard in raw_shards:
+        csc = shard.to_csc()
+        for j in range(num_features):
+            _, vals = csc.col(j)
+            if vals.size == 0:
+                continue
+            local = MergingSketch(eps=sketch_eps)
+            local.update(vals)
+            sketch_bytes += local.serialized_nbytes
+            if merged[j] is None:
+                merged[j] = local
+            else:
+                merged[j] = merged[j].merge(local)
+    cuts = [
+        propose_candidates(sketch, num_candidates)
+        if sketch is not None else np.empty(0, dtype=np.float64)
+        for sketch in merged
+    ]
+    return cuts, sketch_bytes
+
+
+def _account_repartition(
+    report: TransformReport,
+    net: SimulatedNetwork,
+    binned_shards: List[CSRMatrix],
+    groups: List[np.ndarray],
+    num_candidates: int,
+    num_workers: int,
+) -> None:
+    """Simulated cost of the all-to-all shuffle under each encoding."""
+    total_pairs = sum(shard.nnz for shard in binned_shards)
+    total_rows = sum(shard.num_rows for shard in binned_shards)
+    # A fraction (W-1)/W of every worker's pairs leaves the machine.
+    wire_fraction = (num_workers - 1) / num_workers if num_workers else 0.0
+    mean_group = max(
+        int(np.mean([g.size for g in groups])) if groups else 1, 1
+    )
+    pair_bytes_compressed = compressed_pair_bytes(mean_group,
+                                                  num_candidates)
+    encodings = {
+        "naive": (NAIVE_PAIR_BYTES, total_rows * num_workers),
+        "compressed": (pair_bytes_compressed, total_rows * num_workers),
+        "blockified": (pair_bytes_compressed, num_workers * num_workers),
+    }
+    report.compression_ratio = NAIVE_PAIR_BYTES / pair_bytes_compressed
+    for name, (pair_bytes, num_objects) in encodings.items():
+        wire_bytes = int(total_pairs * pair_bytes * wire_fraction)
+        transfer = wire_bytes / num_workers / net.model.bytes_per_second
+        serialization = (
+            num_objects / num_workers * SERIALIZATION_SECONDS_PER_OBJECT
+        )
+        report.repartition_bytes[name] = wire_bytes
+        report.repartition_seconds[name] = transfer + serialization
+    net.record("repartition", report.repartition_bytes["blockified"],
+               report.repartition_seconds["blockified"])
+
+
+def _concat_rows(shards: List[CSRMatrix], num_cols: int) -> CSRMatrix:
+    """Stack horizontal shards back into one matrix (row order preserved)."""
+    indptrs = [shards[0].indptr]
+    for shard in shards[1:]:
+        indptrs.append(shard.indptr[1:] + indptrs[-1][-1])
+    return CSRMatrix(
+        np.concatenate(indptrs),
+        np.concatenate([s.indices for s in shards]),
+        np.concatenate([s.values for s in shards]),
+        num_cols,
+    )

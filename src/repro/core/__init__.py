@@ -1,0 +1,1 @@
+"""Core GBDT algorithm: histograms, split finding, trees, losses."""

@@ -1,0 +1,402 @@
+"""Gradient histograms and their construction kernels (Section 2.1.2).
+
+A gradient histogram summarizes, for every feature and candidate-split bin,
+the sum of first- and second-order gradients of the instances whose feature
+value falls in that bin.  Its size — ``Sizehist = 2 * D * q * C * 8`` bytes
+per tree node (Section 3.1.1) — drives the memory and communication analysis
+of the whole paper.
+
+This module provides the :class:`Histogram` container (with the subtraction
+technique of Section 2.1.2) and the construction kernels for each storage
+pattern and index combination analyzed in Section 3.2:
+
+* :func:`build_rowstore` — row-store + node-to-instance index
+  (QD2 / QD4): gather the rows of one node, one pass over their entries.
+* :func:`build_colstore_layer` — column-store + instance-to-node index
+  (QD1 / XGBoost): one pass over *all* entries per tree layer, scattering
+  into the histograms of every active node; no subtraction possible.
+* :func:`build_colstore_hybrid` — column-store + the hybrid index of
+  Section 5.2.2 (our QD3): per column, either linear-scan the column and
+  filter by instance-to-node lookups, or binary-search the node's instance
+  list inside the column — whichever is predicted cheaper.
+* :func:`build_colstore_columnwise` — column-store + column-wise
+  node-to-instance index (pure Yggdrasil mode, Appendix C): direct slices,
+  but the index itself costs ``O(nnz)`` per layer to maintain.
+
+All kernels are numpy-vectorized and instrumented: they return the number of
+stored entries touched so tests can verify the complexity claims of
+Section 3.2.4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.matrix import CSCMatrix, CSRMatrix
+
+BYTES_PER_DOUBLE = 8
+
+
+def histogram_size_bytes(num_features: int, num_bins: int,
+                         gradient_dim: int) -> int:
+    """``Sizehist`` of Section 3.1.1 for one tree node."""
+    return 2 * num_features * num_bins * gradient_dim * BYTES_PER_DOUBLE
+
+
+class Histogram:
+    """First- and second-order gradient histograms of one tree node.
+
+    ``grad`` and ``hess`` are ``(num_features * num_bins, gradient_dim)``
+    arrays stored flat so construction kernels can scatter with a single
+    ``bincount`` per gradient dimension.
+    """
+
+    __slots__ = ("grad", "hess", "num_features", "num_bins", "gradient_dim")
+
+    def __init__(self, num_features: int, num_bins: int,
+                 gradient_dim: int) -> None:
+        if num_features < 1 or num_bins < 1 or gradient_dim < 1:
+            raise ValueError(
+                "num_features, num_bins and gradient_dim must be >= 1"
+            )
+        self.num_features = num_features
+        self.num_bins = num_bins
+        self.gradient_dim = gradient_dim
+        shape = (num_features * num_bins, gradient_dim)
+        self.grad = np.zeros(shape, dtype=np.float64)
+        self.hess = np.zeros(shape, dtype=np.float64)
+
+    # -- views ---------------------------------------------------------------
+
+    def grad_view(self) -> np.ndarray:
+        """``(num_features, num_bins, gradient_dim)`` view of ``grad``."""
+        return self.grad.reshape(
+            self.num_features, self.num_bins, self.gradient_dim
+        )
+
+    def hess_view(self) -> np.ndarray:
+        return self.hess.reshape(
+            self.num_features, self.num_bins, self.gradient_dim
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Actual bytes held — equals ``Sizehist`` for this feature count."""
+        return self.grad.nbytes + self.hess.nbytes
+
+    # -- algebra (the subtraction technique) ----------------------------------
+
+    def add_inplace(self, other: "Histogram") -> "Histogram":
+        self._check_compatible(other)
+        self.grad += other.grad
+        self.hess += other.hess
+        return self
+
+    def subtract(self, other: "Histogram") -> "Histogram":
+        """``self - other`` as a new histogram.
+
+        With ``self`` the parent and ``other`` one child, the result is the
+        sibling child (Section 2.1.2): children partition the parent's
+        instances, and histogram bins are plain sums of gradients.
+        """
+        self._check_compatible(other)
+        result = Histogram(self.num_features, self.num_bins,
+                           self.gradient_dim)
+        np.subtract(self.grad, other.grad, out=result.grad)
+        np.subtract(self.hess, other.hess, out=result.hess)
+        return result
+
+    def copy(self) -> "Histogram":
+        result = Histogram(self.num_features, self.num_bins,
+                           self.gradient_dim)
+        result.grad[:] = self.grad
+        result.hess[:] = self.hess
+        return result
+
+    def _check_compatible(self, other: "Histogram") -> None:
+        if (self.num_features, self.num_bins, self.gradient_dim) != (
+            other.num_features, other.num_bins, other.gradient_dim
+        ):
+            raise ValueError("histogram shapes do not match")
+
+    def allclose(self, other: "Histogram", rtol: float = 1e-9,
+                 atol: float = 1e-12) -> bool:
+        return (
+            np.allclose(self.grad, other.grad, rtol=rtol, atol=atol)
+            and np.allclose(self.hess, other.hess, rtol=rtol, atol=atol)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(features={self.num_features}, bins={self.num_bins}, "
+            f"classes={self.gradient_dim})"
+        )
+
+
+def node_totals(rows: np.ndarray, grad: np.ndarray,
+                hess: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Total gradient/hessian vectors of the instances on one node."""
+    return grad[rows].sum(axis=0), hess[rows].sum(axis=0)
+
+
+# ---------------------------------------------------------------------------
+# Row-store kernel (QD2 horizontal+row, QD4 vertical+row)
+# ---------------------------------------------------------------------------
+
+def build_rowstore(
+    shard: CSRMatrix,
+    rows: np.ndarray,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    num_bins: int,
+) -> Tuple[Histogram, int]:
+    """Histogram of one node from a binned row-store shard.
+
+    ``shard`` holds bin indexes as values; ``rows`` are the shard-local row
+    ids of the instances on the node (from the node-to-instance index);
+    ``grad``/``hess`` are ``(num_local_rows, C)`` gradient matrices.
+
+    Returns the histogram and the number of stored entries touched.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    gradient_dim = grad.shape[1]
+    hist = Histogram(shard.num_cols, num_bins, gradient_dim)
+    lengths = np.diff(shard.indptr)[rows]
+    total = int(lengths.sum())
+    if total == 0:
+        return hist, 0
+    starts = shard.indptr[rows]
+    offsets = np.arange(total) - np.repeat(
+        np.concatenate(([0], np.cumsum(lengths)))[:-1], lengths
+    )
+    entry_pos = np.repeat(starts, lengths) + offsets
+    entry_rows = np.repeat(rows, lengths)
+    keys = (
+        shard.indices[entry_pos].astype(np.int64) * num_bins
+        + shard.values[entry_pos]
+    )
+    size = shard.num_cols * num_bins
+    for c in range(gradient_dim):
+        hist.grad[:, c] = np.bincount(
+            keys, weights=grad[entry_rows, c], minlength=size
+        )
+        hist.hess[:, c] = np.bincount(
+            keys, weights=hess[entry_rows, c], minlength=size
+        )
+    return hist, total
+
+
+# ---------------------------------------------------------------------------
+# Column-store + instance-to-node kernel (QD1, XGBoost-style)
+# ---------------------------------------------------------------------------
+
+def build_colstore_layer(
+    shard: CSCMatrix,
+    slot_of_instance: np.ndarray,
+    num_slots: int,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    num_bins: int,
+) -> Tuple[List[Histogram], int]:
+    """Histograms of every active node of one layer, one pass over the shard.
+
+    ``slot_of_instance`` maps each shard-local row to a dense slot id in
+    ``[0, num_slots)`` — the position of its node within the active layer —
+    or ``-1`` for rows no longer on any active node.  This is the
+    instance-to-node index of Section 3.2.3: the whole shard is scanned and
+    histogram subtraction cannot skip any entries.
+    """
+    gradient_dim = grad.shape[1]
+    hists = [
+        Histogram(shard.num_cols, num_bins, gradient_dim)
+        for _ in range(num_slots)
+    ]
+    if shard.nnz == 0 or num_slots == 0:
+        return hists, 0
+    col_of = np.repeat(
+        np.arange(shard.num_cols, dtype=np.int64), np.diff(shard.indptr)
+    )
+    entry_rows = shard.indices.astype(np.int64)
+    slots = slot_of_instance[entry_rows].astype(np.int64)
+    active = slots >= 0
+    col_of = col_of[active]
+    rows = entry_rows[active]
+    slots = slots[active]
+    bins = shard.values[active].astype(np.int64)
+    size = shard.num_cols * num_bins
+    keys = slots * size + col_of * num_bins + bins
+    for c in range(gradient_dim):
+        grad_flat = np.bincount(
+            keys, weights=grad[rows, c], minlength=num_slots * size
+        )
+        hess_flat = np.bincount(
+            keys, weights=hess[rows, c], minlength=num_slots * size
+        )
+        for s in range(num_slots):
+            hists[s].grad[:, c] = grad_flat[s * size:(s + 1) * size]
+            hists[s].hess[:, c] = hess_flat[s * size:(s + 1) * size]
+    return hists, int(shard.nnz)
+
+
+# ---------------------------------------------------------------------------
+# Column-store + hybrid index kernel (QD3, Section 5.2.2 "index plan")
+# ---------------------------------------------------------------------------
+
+def build_colstore_hybrid(
+    shard: CSCMatrix,
+    node_rows: np.ndarray,
+    node_of_instance: np.ndarray,
+    node_id: int,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    num_bins: int,
+) -> Tuple[Histogram, int, int]:
+    """Histogram of one node from a binned column-store shard.
+
+    Per column the kernel picks the cheaper of two strategies
+    (Section 5.2.2):
+
+    * *linear scan* — read every entry of the column and keep those whose
+      instance currently sits on ``node_id`` (instance-to-node index);
+      cost ``nnz(column)``.
+    * *binary search* — locate each of the node's instances inside the
+      column's sorted row-index array (node-to-instance index); cost
+      ``|node| * log(nnz(column))``.
+
+    Returns ``(histogram, entries_scanned, searches_performed)``.
+    """
+    node_rows = np.asarray(node_rows, dtype=np.int64)
+    gradient_dim = grad.shape[1]
+    hist = Histogram(shard.num_cols, num_bins, gradient_dim)
+    scanned = 0
+    searched = 0
+    grad_v = hist.grad_view()
+    hess_v = hist.hess_view()
+    node_size = node_rows.size
+    for j in range(shard.num_cols):
+        col_rows, col_bins = shard.col(j)
+        nnz = col_rows.size
+        if nnz == 0:
+            continue
+        log_cost = node_size * max(int(np.log2(nnz)), 1)
+        if nnz <= log_cost:
+            # linear scan, filter via the instance-to-node index
+            scanned += nnz
+            keep = node_of_instance[col_rows] == node_id
+            rows = col_rows[keep].astype(np.int64)
+            bins = col_bins[keep].astype(np.int64)
+        else:
+            # binary search each node instance inside the column
+            searched += node_size
+            pos = np.searchsorted(col_rows, node_rows)
+            pos = np.minimum(pos, nnz - 1)
+            keep = col_rows[pos] == node_rows
+            rows = node_rows[keep]
+            bins = col_bins[pos[keep]].astype(np.int64)
+        if rows.size == 0:
+            continue
+        for c in range(gradient_dim):
+            grad_v[j, :, c] += np.bincount(
+                bins, weights=grad[rows, c], minlength=num_bins
+            )
+            hess_v[j, :, c] += np.bincount(
+                bins, weights=hess[rows, c], minlength=num_bins
+            )
+    return hist, scanned, searched
+
+
+# ---------------------------------------------------------------------------
+# Column-store + column-wise node-to-instance index (pure Yggdrasil mode)
+# ---------------------------------------------------------------------------
+
+class ColumnwiseIndex:
+    """Column-wise node-to-instance index (Section 3.2.3, Figure 6).
+
+    Every column's entries are kept grouped by tree node, so the entries of
+    one node on one column are a contiguous slice — histogram construction
+    needs no search at all.  The price is paid at node splitting: every
+    column must be reordered, an ``O(nnz)`` pass per layer (``D`` times the
+    bookkeeping of the other indexes, Section 3.2.4).
+    """
+
+    def __init__(self, shard: CSCMatrix) -> None:
+        self.shard = shard
+        # per-column permuted entry order, grouped by node
+        self.order = [
+            np.arange(int(n), dtype=np.int64) for n in shard.col_lengths()
+        ]
+        # per-column {node_id: (start, end)} slices into ``order``
+        self.slices: List[Dict[int, Tuple[int, int]]] = [
+            {0: (0, int(n))} for n in shard.col_lengths()
+        ]
+
+    def node_entries(self, col: int,
+                     node_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(rows, bins)`` of one node's entries on one column."""
+        lo_hi = self.slices[col].get(node_id)
+        if lo_hi is None:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        lo, hi = lo_hi
+        col_rows, col_bins = self.shard.col(col)
+        sel = self.order[col][lo:hi]
+        return col_rows[sel].astype(np.int64), col_bins[sel].astype(np.int64)
+
+    def update_after_split(self, node_of_instance: np.ndarray,
+                           active_nodes: Sequence[int]) -> int:
+        """Regroup every column after a layer split; returns entries moved."""
+        moved = 0
+        active = set(int(n) for n in active_nodes)
+        for col in range(self.shard.num_cols):
+            col_rows, _ = self.shard.col(col)
+            if col_rows.size == 0:
+                self.slices[col] = {}
+                continue
+            nodes = node_of_instance[col_rows.astype(np.int64)]
+            order = np.argsort(nodes, kind="stable")
+            self.order[col] = order.astype(np.int64)
+            moved += order.size
+            sorted_nodes = nodes[order]
+            bounds = np.flatnonzero(
+                np.concatenate(
+                    ([True], sorted_nodes[1:] != sorted_nodes[:-1])
+                )
+            )
+            ends = np.concatenate((bounds[1:], [sorted_nodes.size]))
+            self.slices[col] = {
+                int(sorted_nodes[lo]): (int(lo), int(hi))
+                for lo, hi in zip(bounds, ends)
+                if int(sorted_nodes[lo]) in active
+            }
+        return moved
+
+
+def build_colstore_columnwise(
+    index: ColumnwiseIndex,
+    node_id: int,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    num_bins: int,
+) -> Tuple[Histogram, int]:
+    """Histogram of one node using the column-wise index: direct slices."""
+    shard = index.shard
+    gradient_dim = grad.shape[1]
+    hist = Histogram(shard.num_cols, num_bins, gradient_dim)
+    grad_v = hist.grad_view()
+    hess_v = hist.hess_view()
+    touched = 0
+    for j in range(shard.num_cols):
+        rows, bins = index.node_entries(j, node_id)
+        if rows.size == 0:
+            continue
+        touched += rows.size
+        for c in range(gradient_dim):
+            grad_v[j, :, c] += np.bincount(
+                bins, weights=grad[rows, c], minlength=num_bins
+            )
+            hess_v[j, :, c] += np.bincount(
+                bins, weights=hess[rows, c], minlength=num_bins
+            )
+    return hist, touched

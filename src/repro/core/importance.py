@@ -1,0 +1,97 @@
+"""Feature importance and model introspection utilities.
+
+Two standard importance measures over a trained ensemble:
+
+* ``"split"`` — how many times each feature is chosen as a split;
+* ``"gain"`` — the total split gain (Equation 2) each feature
+  contributes.
+
+Plus a plain-text tree dump for debugging and model review.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .tree import Tree, TreeEnsemble
+
+
+def feature_importance(
+    ensemble: TreeEnsemble,
+    num_features: int,
+    kind: str = "gain",
+) -> np.ndarray:
+    """Per-feature importance array of length ``num_features``."""
+    if kind not in ("gain", "split"):
+        raise ValueError(f"unknown importance kind: {kind!r}")
+    importance = np.zeros(num_features, dtype=np.float64)
+    for tree in ensemble.trees:
+        for node in tree.internal_nodes():
+            feature = node.split.feature
+            if not 0 <= feature < num_features:
+                raise ValueError(
+                    f"model splits on feature {feature}, outside "
+                    f"[0, {num_features})"
+                )
+            if kind == "gain":
+                importance[feature] += max(node.split.gain, 0.0)
+            else:
+                importance[feature] += 1.0
+    return importance
+
+
+def top_features(
+    ensemble: TreeEnsemble,
+    num_features: int,
+    k: int = 10,
+    kind: str = "gain",
+) -> List[int]:
+    """Feature ids of the ``k`` most important features, best first."""
+    importance = feature_importance(ensemble, num_features, kind)
+    order = np.argsort(-importance, kind="stable")
+    used = order[importance[order] > 0]
+    return [int(f) for f in used[:k]]
+
+
+def dump_tree(tree: Tree, feature_names: Dict[int, str] = None) -> str:
+    """Readable indented dump of one tree."""
+    lines: List[str] = []
+
+    def name(fid: int) -> str:
+        if feature_names and fid in feature_names:
+            return feature_names[fid]
+        return f"f{fid}"
+
+    def visit(node_id: int, depth: int) -> None:
+        node = tree.nodes.get(node_id)
+        if node is None:
+            return
+        pad = "  " * depth
+        if node.is_leaf:
+            weight = ", ".join(f"{w:+.4f}" for w in node.weight)
+            lines.append(f"{pad}leaf {node_id}: [{weight}]")
+        else:
+            split = node.split
+            default = "left" if split.default_left else "right"
+            lines.append(
+                f"{pad}node {node_id}: {name(split.feature)} <= "
+                f"{node.threshold:.6g} (gain {split.gain:.4f}, "
+                f"missing -> {default})"
+            )
+            visit(node.left_child, depth + 1)
+            visit(node.right_child, depth + 1)
+
+    visit(0, 0)
+    return "\n".join(lines)
+
+
+def dump_ensemble(ensemble: TreeEnsemble,
+                  feature_names: Dict[int, str] = None) -> str:
+    """Dump of all trees, separated by headers."""
+    parts = []
+    for i, tree in enumerate(ensemble.trees):
+        parts.append(f"=== tree {i} ===")
+        parts.append(dump_tree(tree, feature_names))
+    return "\n".join(parts)

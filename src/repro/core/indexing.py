@@ -1,0 +1,127 @@
+"""Indexes between tree nodes and training instances (Section 3.2.1).
+
+The paper identifies three index structures:
+
+* **node-to-instance** (:class:`NodeToInstanceIndex`) — tree node to the
+  rows currently on it.  Used by the row-store quadrants (QD2/QD4); enables
+  histogram subtraction because a node's rows are directly available.
+* **instance-to-node** — row to tree node.  :class:`NodeToInstanceIndex`
+  maintains both directions (the forward array *is* the instance-to-node
+  index), so QD1's column kernel reads ``node_of_instance`` straight from
+  the same object.
+* **column-wise node-to-instance** — one index per feature column; lives in
+  :class:`repro.core.histogram.ColumnwiseIndex` next to its kernel.
+
+Updates are counting-sort based, ``O(rows)`` per layer, matching the node
+splitting complexity of Section 3.2.4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+class NodeToInstanceIndex:
+    """Bidirectional node/instance index over one worker's rows.
+
+    ``node_of_instance[i]`` is the tree-node id of local row ``i`` (the
+    instance-to-node direction); ``rows_of(node)`` returns the rows of a
+    node (the node-to-instance direction), kept as cached contiguous
+    arrays.  Row ids here are *local* to the shard.
+    """
+
+    def __init__(self, num_instances: int, root: int = 0,
+                 rows: np.ndarray = None) -> None:
+        """``rows`` restricts the root to a subset (row subsampling);
+        excluded rows carry node id ``-1`` and are never tracked."""
+        if num_instances < 0:
+            raise ValueError("num_instances must be >= 0")
+        self.num_instances = num_instances
+        if rows is None:
+            self.node_of_instance = np.full(num_instances, root,
+                                            dtype=np.int32)
+            root_rows = np.arange(num_instances, dtype=np.int64)
+        else:
+            root_rows = np.unique(np.asarray(rows, dtype=np.int64))
+            if root_rows.size and (root_rows[0] < 0
+                                   or root_rows[-1] >= num_instances):
+                raise ValueError("sample rows out of range")
+            self.node_of_instance = np.full(num_instances, -1,
+                                            dtype=np.int32)
+            self.node_of_instance[root_rows] = root
+        self._rows: Dict[int, np.ndarray] = {root: root_rows}
+        self.updates = 0  # instances moved, for cost assertions
+
+    # -- queries -------------------------------------------------------------
+
+    def rows_of(self, node: int) -> np.ndarray:
+        """Local rows currently on ``node`` (empty if none)."""
+        rows = self._rows.get(node)
+        if rows is None:
+            return np.empty(0, dtype=np.int64)
+        return rows
+
+    def count_of(self, node: int) -> int:
+        return int(self.rows_of(node).size)
+
+    def active_nodes(self) -> List[int]:
+        return sorted(self._rows)
+
+    def slot_of_instance(self, active_nodes: Sequence[int]) -> np.ndarray:
+        """Dense slot id per row for the layer-wise column kernel (QD1).
+
+        Rows on nodes outside ``active_nodes`` get slot ``-1``.
+        """
+        if len(active_nodes) == 0:
+            return np.full(self.num_instances, -1, dtype=np.int64)
+        max_node = max(int(n) for n in active_nodes)
+        slot_map = np.full(max_node + 2, -1, dtype=np.int64)
+        for slot, node in enumerate(active_nodes):
+            slot_map[node] = slot
+        clipped = np.minimum(self.node_of_instance, max_node + 1)
+        return slot_map[clipped]
+
+    # -- updates -------------------------------------------------------------
+
+    def split_node(
+        self,
+        node: int,
+        go_left: np.ndarray,
+        left_child: int,
+        right_child: int,
+    ) -> None:
+        """Move the rows of ``node`` to its children.
+
+        ``go_left`` is a boolean array aligned with ``rows_of(node)`` — in
+        the vertical quadrants it is exactly the decoded placement bitmap
+        broadcast by the split owner (Section 4.2.2).
+        """
+        rows = self.rows_of(node)
+        go_left = np.asarray(go_left, dtype=bool)
+        if go_left.size != rows.size:
+            raise ValueError(
+                f"placement length {go_left.size} != node size {rows.size}"
+            )
+        left_rows = rows[go_left]
+        right_rows = rows[~go_left]
+        self.node_of_instance[left_rows] = left_child
+        self.node_of_instance[right_rows] = right_child
+        del self._rows[node]
+        self._rows[left_child] = left_rows
+        self._rows[right_child] = right_rows
+        self.updates += rows.size
+
+    def retire_node(self, node: int) -> None:
+        """Drop a node that became a leaf (its rows need no more tracking
+        for histogram purposes, but ``node_of_instance`` keeps the leaf id
+        so predictions can be read off the index)."""
+        self._rows.pop(node, None)
+
+    def smaller_child(self, left_child: int, right_child: int) -> int:
+        """Child with fewer instances — the one to build histograms for
+        before obtaining its sibling by subtraction (Section 2.1.2)."""
+        if self.count_of(left_child) <= self.count_of(right_child):
+            return left_child
+        return right_child

@@ -1,0 +1,81 @@
+"""Evaluation metrics used in the paper's figures: AUC and accuracy
+(Figures 11 and 12), plus RMSE and log-loss for completeness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic.
+
+    Ties in ``scores`` receive their mid-rank, matching the standard
+    trapezoidal ROC computation.
+    """
+    labels = np.asarray(labels).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if labels.size != scores.size:
+        raise ValueError("labels and scores must have equal length")
+    positives = labels == 1
+    num_pos = int(positives.sum())
+    num_neg = labels.size - num_pos
+    if num_pos == 0 or num_neg == 0:
+        raise ValueError("AUC undefined: need both classes present")
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(labels.size, dtype=np.float64)
+    ranks[order] = np.arange(1, labels.size + 1)
+    # mid-ranks for tied scores
+    sorted_scores = scores[order]
+    boundaries = np.concatenate(
+        ([True], sorted_scores[1:] != sorted_scores[:-1])
+    )
+    group_ids = np.cumsum(boundaries) - 1
+    group_sums = np.bincount(group_ids, weights=ranks[order])
+    group_counts = np.bincount(group_ids)
+    mid = group_sums / group_counts
+    ranks[order] = mid[group_ids]
+    rank_sum = ranks[positives].sum()
+    return float(
+        (rank_sum - num_pos * (num_pos + 1) / 2.0) / (num_pos * num_neg)
+    )
+
+
+def accuracy(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of exact matches between integer labels and predictions."""
+    labels = np.asarray(labels).ravel()
+    predictions = np.asarray(predictions).ravel()
+    if labels.size != predictions.size:
+        raise ValueError("labels and predictions must have equal length")
+    if labels.size == 0:
+        raise ValueError("accuracy undefined on empty input")
+    return float(np.mean(labels == predictions))
+
+
+def multiclass_accuracy(labels: np.ndarray, probs: np.ndarray) -> float:
+    """Accuracy of argmax predictions from an ``(N, C)`` probability matrix."""
+    probs = np.asarray(probs)
+    if probs.ndim != 2:
+        raise ValueError("probs must be an (N, C) matrix")
+    return accuracy(labels, probs.argmax(axis=1))
+
+
+def rmse(labels: np.ndarray, predictions: np.ndarray) -> float:
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    predictions = np.asarray(predictions, dtype=np.float64).ravel()
+    if labels.size != predictions.size:
+        raise ValueError("labels and predictions must have equal length")
+    if labels.size == 0:
+        raise ValueError("rmse undefined on empty input")
+    return float(np.sqrt(np.mean((labels - predictions) ** 2)))
+
+
+def logloss(labels: np.ndarray, probs: np.ndarray) -> float:
+    """Binary cross-entropy given positive-class probabilities."""
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    probs = np.clip(np.asarray(probs, dtype=np.float64).ravel(), 1e-15,
+                    1.0 - 1e-15)
+    if labels.size != probs.size:
+        raise ValueError("labels and probs must have equal length")
+    return float(
+        -np.mean(labels * np.log(probs) + (1 - labels) * np.log(1 - probs))
+    )

@@ -1,0 +1,104 @@
+"""Model serialization: tree ensembles to and from JSON.
+
+The format is versioned, self-contained (objective, learning rate, tree
+structures with raw-value thresholds) and stable across releases, so
+models trained by any of the quadrant systems can be shipped to a serving
+process that only needs :mod:`repro.core.tree`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .split import SplitInfo
+from .tree import Tree, TreeEnsemble
+
+FORMAT_VERSION = 1
+
+
+def ensemble_to_dict(ensemble: TreeEnsemble, objective: str = "binary",
+                     num_classes: int = 2) -> dict:
+    """JSON-ready dict of an ensemble."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "objective": objective,
+        "num_classes": num_classes,
+        "gradient_dim": ensemble.gradient_dim,
+        "learning_rate": ensemble.learning_rate,
+        "trees": [_tree_to_dict(tree) for tree in ensemble.trees],
+    }
+
+
+def ensemble_from_dict(payload: dict) -> TreeEnsemble:
+    """Inverse of :func:`ensemble_to_dict` (validates the format)."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format version: {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    ensemble = TreeEnsemble(
+        gradient_dim=int(payload["gradient_dim"]),
+        learning_rate=float(payload["learning_rate"]),
+    )
+    for tree_payload in payload["trees"]:
+        ensemble.append(_tree_from_dict(tree_payload,
+                                        ensemble.gradient_dim))
+    return ensemble
+
+
+def save_ensemble(ensemble: TreeEnsemble, path: Union[str, Path],
+                  objective: str = "binary",
+                  num_classes: int = 2) -> None:
+    """Write an ensemble to a JSON file."""
+    path = Path(path)
+    payload = ensemble_to_dict(ensemble, objective, num_classes)
+    path.write_text(json.dumps(payload, indent=1))
+
+
+def load_ensemble(path: Union[str, Path]) -> TreeEnsemble:
+    """Read an ensemble from a JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not a valid model file") from exc
+    return ensemble_from_dict(payload)
+
+
+def _tree_to_dict(tree: Tree) -> dict:
+    nodes = {}
+    for node_id, node in sorted(tree.nodes.items()):
+        if node.is_leaf:
+            nodes[str(node_id)] = {"weight": node.weight.tolist()}
+        else:
+            nodes[str(node_id)] = {
+                "feature": node.split.feature,
+                "bin": node.split.bin,
+                "default_left": node.split.default_left,
+                "gain": node.split.gain,
+                "threshold": node.threshold,
+            }
+    return {"num_layers": tree.num_layers, "nodes": nodes}
+
+
+def _tree_from_dict(payload: dict, gradient_dim: int) -> Tree:
+    tree = Tree(int(payload["num_layers"]), gradient_dim)
+    for node_key, node_payload in payload["nodes"].items():
+        node_id = int(node_key)
+        if "weight" in node_payload:
+            tree.set_leaf(node_id, np.asarray(node_payload["weight"]))
+        else:
+            split = SplitInfo(
+                feature=int(node_payload["feature"]),
+                bin=int(node_payload["bin"]),
+                default_left=bool(node_payload["default_left"]),
+                gain=float(node_payload["gain"]),
+            )
+            tree.set_split(node_id, split,
+                           float(node_payload["threshold"]))
+    return tree

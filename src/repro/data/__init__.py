@@ -1,0 +1,1 @@
+"""Dataset substrate: sparse matrices, binning, generators, catalog, I/O."""

@@ -1,0 +1,104 @@
+"""LibSVM-format text I/O.
+
+The datasets the paper evaluates are distributed in libsvm format; this
+module round-trips :class:`~repro.data.dataset.Dataset` objects through it
+so users can plug in their own data files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from .dataset import Dataset
+from .matrix import CSRMatrix
+
+
+def write_libsvm(dataset: Dataset, path: Union[str, Path]) -> None:
+    """Write ``label idx:value ...`` lines, one instance per line.
+
+    Feature indexes are written 1-based per the libsvm convention.
+    """
+    path = Path(path)
+    with path.open("w") as handle:
+        for i, cols, vals in dataset.features.iter_rows():
+            label = dataset.labels[i]
+            if dataset.task == "regression":
+                label_str = repr(float(label))
+            else:
+                label_str = str(int(label))
+            pairs = " ".join(
+                f"{int(c) + 1}:{float(v):.17g}"
+                for c, v in zip(cols, vals)
+            )
+            handle.write(f"{label_str} {pairs}\n".rstrip() + "\n")
+
+
+def read_libsvm(
+    path: Union[str, Path],
+    num_features: int = None,
+    task: str = "binary",
+    num_classes: int = 2,
+    name: str = None,
+) -> Dataset:
+    """Read a libsvm file into a :class:`Dataset`.
+
+    ``num_features`` widens the matrix beyond the highest index seen
+    (useful when a test split lacks the tail features of the train split).
+    """
+    path = Path(path)
+    labels: List[float] = []
+    rows: List[Tuple[np.ndarray, np.ndarray]] = []
+    max_col = -1
+    with path.open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                labels.append(float(parts[0]))
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: bad label {parts[0]!r}"
+                ) from exc
+            cols = np.empty(len(parts) - 1, dtype=np.int32)
+            vals = np.empty(len(parts) - 1, dtype=np.float64)
+            for k, pair in enumerate(parts[1:]):
+                try:
+                    idx_str, val_str = pair.split(":", 1)
+                    cols[k] = int(idx_str) - 1
+                    vals[k] = float(val_str)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"{path}:{line_no}: bad pair {pair!r}"
+                    ) from exc
+            if cols.size and cols.min() < 0:
+                raise ValueError(
+                    f"{path}:{line_no}: feature indexes must be >= 1"
+                )
+            order = np.argsort(cols, kind="stable")
+            rows.append((cols[order], vals[order]))
+            if cols.size:
+                max_col = max(max_col, int(cols.max()))
+    width = max_col + 1 if num_features is None else num_features
+    if width < max_col + 1:
+        raise ValueError(
+            f"num_features={width} smaller than max index {max_col + 1}"
+        )
+    counts = [c.size for c, _ in rows]
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    if rows:
+        indices = np.concatenate([c for c, _ in rows])
+        values = np.concatenate([v for _, v in rows])
+    else:
+        indices = np.empty(0, dtype=np.int32)
+        values = np.empty(0, dtype=np.float64)
+    features = CSRMatrix(indptr, indices, values, max(width, 1))
+    label_arr = np.asarray(labels)
+    if task in ("binary", "multiclass"):
+        label_arr = label_arr.astype(np.int64)
+    return Dataset(features, label_arr, task=task, num_classes=num_classes,
+                   name=name or path.stem)

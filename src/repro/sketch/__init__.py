@@ -1,0 +1,1 @@
+"""Mergeable quantile sketches and candidate-split proposal."""

@@ -1,0 +1,136 @@
+"""KLL sketch — asymptotically optimal streaming quantiles [22 in the
+paper: Karnin, Lang, Liberty, FOCS 2016].
+
+A hierarchy of *compactors*: level ``h`` stores items of weight
+``2**h``.  When a compactor overflows, its sorted contents are halved by
+keeping every other item (random parity) and promoted one level up.
+Capacities decay geometrically toward the top, giving ``O((1/eps)
+sqrt(log(1/eps)))`` space for rank error ``eps * n``.
+
+Provided alongside :class:`~repro.sketch.quantile.GKSketch` and
+:class:`~repro.sketch.quantile.MergingSketch` so the transformation
+pipeline's sketch is swappable; property tests pin the rank-error
+behaviour of all three to the same contract.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+#: geometric capacity decay between compactor levels
+_DECAY = 2.0 / 3.0
+
+
+class KLLSketch:
+    """Mergeable KLL quantile sketch over float observations."""
+
+    def __init__(self, k: int = 200, seed: int = 0) -> None:
+        if k < 8:
+            raise ValueError(f"k must be >= 8, got {k}")
+        self.k = k
+        self._rng = np.random.default_rng(seed)
+        self._compactors: List[List[float]] = [[]]
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(self, value: float) -> None:
+        self.update([value])
+
+    def update(self, values) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        self._min = min(self._min, float(values.min()))
+        self._max = max(self._max, float(values.max()))
+        self._count += values.size
+        self._compactors[0].extend(values.tolist())
+        self._compress()
+
+    def merge(self, other: "KLLSketch") -> "KLLSketch":
+        result = KLLSketch(k=min(self.k, other.k),
+                           seed=int(self._rng.integers(1 << 31)))
+        result._count = self._count + other._count
+        result._min = min(self._min, other._min)
+        result._max = max(self._max, other._max)
+        depth = max(len(self._compactors), len(other._compactors))
+        result._compactors = [[] for _ in range(depth)]
+        for level in range(depth):
+            if level < len(self._compactors):
+                result._compactors[level].extend(
+                    self._compactors[level])
+            if level < len(other._compactors):
+                result._compactors[level].extend(
+                    other._compactors[level])
+        result._compress()
+        return result
+
+    def _capacity(self, level: int) -> int:
+        height = len(self._compactors)
+        return max(int(math.ceil(self.k * _DECAY ** (height - level - 1))),
+                   2)
+
+    def _compress(self) -> None:
+        level = 0
+        while level < len(self._compactors):
+            compactor = self._compactors[level]
+            if len(compactor) <= self._capacity(level):
+                level += 1
+                continue
+            if level + 1 == len(self._compactors):
+                self._compactors.append([])
+            compactor.sort()
+            offset = int(self._rng.integers(2))
+            promoted = compactor[offset::2]
+            self._compactors[level + 1].extend(promoted)
+            self._compactors[level] = []
+            level += 1
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def size(self) -> int:
+        return sum(len(c) for c in self._compactors)
+
+    @property
+    def serialized_nbytes(self) -> int:
+        """8-byte value + 8-byte weight per retained item."""
+        return 16 * self.size
+
+    def _weighted_items(self):
+        values: List[float] = []
+        weights: List[float] = []
+        for level, compactor in enumerate(self._compactors):
+            values.extend(compactor)
+            weights.extend([2.0 ** level] * len(compactor))
+        return np.asarray(values), np.asarray(weights)
+
+    def query(self, quantile: float) -> float:
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+        if self._count == 0:
+            raise ValueError("cannot query an empty sketch")
+        if quantile <= 0.0:
+            return self._min
+        if quantile >= 1.0:
+            return self._max
+        values, weights = self._weighted_items()
+        order = np.argsort(values, kind="stable")
+        values = values[order]
+        cum = np.cumsum(weights[order])
+        target = quantile * cum[-1]
+        idx = int(np.searchsorted(cum, target, side="left"))
+        idx = min(idx, values.size - 1)
+        return float(values[idx])
+
+    def quantiles(self, probs: Sequence[float]) -> np.ndarray:
+        return np.array([self.query(p) for p in probs])

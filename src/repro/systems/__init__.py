@@ -1,0 +1,73 @@
+"""The four data-management quadrants, one code base (Section 5.2).
+
+========  ============  =========  ==========================
+Quadrant  Partitioning  Storage    Class
+========  ============  =========  ==========================
+QD1       horizontal    column     :class:`XGBoostStyle`
+QD2       horizontal    row        :class:`LightGBMStyle`,
+                                   :class:`DimBoostStyle`
+QD3       vertical      column     :class:`YggdrasilStyle`
+QD4       vertical      row        :class:`Vero`
+========  ============  =========  ==========================
+"""
+
+from __future__ import annotations
+
+from ..config import ClusterConfig, TrainConfig
+from .advisor import (QuadrantEstimate, Recommendation, estimate,
+                      recommend)
+from .base import (DistEvalRecord, DistributedGBDT, DistTrainResult,
+                   MemoryReport, TreeReport)
+from .feature_parallel import LightGBMFeatureParallel
+from .qd1 import XGBoostStyle
+from .qd2 import DimBoostStyle, LightGBMStyle
+from .qd3 import YggdrasilStyle
+from .vero import Vero
+
+_SYSTEMS = {
+    "qd1": XGBoostStyle,
+    "xgboost": XGBoostStyle,
+    "qd2": LightGBMStyle,
+    "lightgbm": LightGBMStyle,
+    "dimboost": DimBoostStyle,
+    "qd3": YggdrasilStyle,
+    "yggdrasil": YggdrasilStyle,
+    "qd4": Vero,
+    "vero": Vero,
+    "lightgbm-fp": LightGBMFeatureParallel,
+}
+
+
+def make_system(
+    name: str, config: TrainConfig, cluster: ClusterConfig, **kwargs
+) -> DistributedGBDT:
+    """Factory over quadrant/system names (case-insensitive).
+
+    Accepted names: qd1/xgboost, qd2/lightgbm, dimboost, qd3/yggdrasil,
+    qd4/vero, lightgbm-fp.
+    """
+    cls = _SYSTEMS.get(name.lower())
+    if cls is None:
+        known = ", ".join(sorted(_SYSTEMS))
+        raise KeyError(f"unknown system {name!r}; known: {known}")
+    return cls(config, cluster, **kwargs)
+
+
+__all__ = [
+    "QuadrantEstimate",
+    "Recommendation",
+    "estimate",
+    "recommend",
+    "DistEvalRecord",
+    "DistTrainResult",
+    "DistributedGBDT",
+    "DimBoostStyle",
+    "LightGBMFeatureParallel",
+    "LightGBMStyle",
+    "MemoryReport",
+    "TreeReport",
+    "Vero",
+    "XGBoostStyle",
+    "YggdrasilStyle",
+    "make_system",
+]

@@ -1,0 +1,183 @@
+"""Data-management advisor — the paper's stated future work.
+
+Section 6 closes with an open problem: *"How to determine an optimal
+dataset management strategy given the size of dataset (e.g., number of
+instances, feature dimensionality and number of classes) along with the
+application environment (e.g., network bandwidth, number of machines,
+number of cores) is remained unsolved."*
+
+This module implements that decision procedure on top of the Section 3
+cost model: it prices one tree under each quadrant — computation from the
+access-count complexities of Section 3.2.4 against a calibratable scan
+rate, communication from the byte formulas of Section 3.1.3 against the
+network model — and recommends the cheapest, with per-quadrant breakdowns
+so the choice is auditable.  The test suite validates the advisor's
+ranking against the simulator on representative regimes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..config import NetworkModel
+from .costmodel import (WorkloadShape, horizontal_comm_bytes_per_tree,
+                        sizehist_bytes, vertical_comm_bytes_per_tree)
+
+#: key-value pair accesses per second of one worker core; the default is
+#: calibratable via :func:`calibrate_scan_rate`
+DEFAULT_SCAN_RATE = 5e7
+
+QUADRANTS = ("QD1", "QD2", "QD3", "QD4")
+
+_DESCRIPTIONS = {
+    "QD1": "horizontal + column-store (XGBoost style)",
+    "QD2": "horizontal + row-store (LightGBM/DimBoost style)",
+    "QD3": "vertical + column-store (Yggdrasil style)",
+    "QD4": "vertical + row-store (Vero)",
+}
+
+
+@dataclass(frozen=True)
+class QuadrantEstimate:
+    """Per-tree cost prediction of one quadrant."""
+
+    quadrant: str
+    comp_seconds: float
+    comm_seconds: float
+    histogram_memory_bytes: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.comp_seconds + self.comm_seconds
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self.quadrant]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's verdict: ranked quadrants plus the reasoning."""
+
+    best: QuadrantEstimate
+    ranking: List[QuadrantEstimate]
+    reasons: List[str]
+
+
+def _access_counts(shape: WorkloadShape, avg_nnz: float) -> Dict[str, float]:
+    """Stored-entry accesses per tree for each quadrant's kernel plan
+    (Section 3.2.4), including histogram-subtraction savings."""
+    layers = shape.num_layers - 1
+    nnz = shape.num_instances * avg_nnz
+    # with subtraction, layers below the root scan about half the data
+    subtracted = nnz + (layers - 1) * nnz / 2 if layers > 1 else nnz
+    full = layers * nnz
+    per_column = max(nnz / max(shape.num_features, 1), 2.0)
+    search_penalty = math.log2(per_column)
+    return {
+        # column + instance-to-node: full scan, no subtraction
+        "QD1": full / shape.num_workers,
+        # row + node-to-instance: subtraction
+        "QD2": subtracted / shape.num_workers,
+        # column + hybrid index: subtraction, but search/filter overhead
+        "QD3": subtracted * search_penalty / shape.num_workers,
+        "QD4": subtracted / shape.num_workers,
+    }
+
+
+def estimate(
+    shape: WorkloadShape,
+    avg_nnz_per_instance: float,
+    network: NetworkModel = None,
+    scan_rate: float = DEFAULT_SCAN_RATE,
+) -> Dict[str, QuadrantEstimate]:
+    """Per-tree cost estimates of all four quadrants."""
+    if avg_nnz_per_instance <= 0:
+        raise ValueError("avg_nnz_per_instance must be > 0")
+    if scan_rate <= 0:
+        raise ValueError("scan_rate must be > 0")
+    if network is None:
+        network = NetworkModel()
+    accesses = _access_counts(shape, avg_nnz_per_instance)
+    horizontal_bytes = horizontal_comm_bytes_per_tree(shape)
+    vertical_bytes = vertical_comm_bytes_per_tree(shape)
+    bps = network.bytes_per_second
+    layers = shape.num_layers - 1
+    horizontal_comm = (
+        horizontal_bytes / shape.num_workers / bps
+        + layers * 2 * shape.num_workers * network.latency_s
+    )
+    vertical_comm = (
+        vertical_bytes / shape.num_workers / bps
+        + layers * 2 * network.latency_s
+    )
+    hist_mem_h = float(sizehist_bytes(shape)) * 2 ** (shape.num_layers - 2)
+    hist_mem_v = hist_mem_h / shape.num_workers
+    out = {}
+    for quadrant in QUADRANTS:
+        horizontal = quadrant in ("QD1", "QD2")
+        out[quadrant] = QuadrantEstimate(
+            quadrant=quadrant,
+            comp_seconds=accesses[quadrant] / scan_rate,
+            comm_seconds=horizontal_comm if horizontal else vertical_comm,
+            histogram_memory_bytes=hist_mem_h if horizontal else
+            hist_mem_v,
+        )
+    return out
+
+
+def recommend(
+    shape: WorkloadShape,
+    avg_nnz_per_instance: float,
+    network: NetworkModel = None,
+    memory_budget_bytes: float = None,
+    scan_rate: float = DEFAULT_SCAN_RATE,
+) -> Recommendation:
+    """Pick the cheapest feasible quadrant for a workload.
+
+    ``memory_budget_bytes`` (per worker, histograms only) disqualifies
+    quadrants whose predicted histogram memory exceeds it — the paper's
+    OOM scenario for horizontal partitioning on multi-class data.
+    """
+    estimates = estimate(shape, avg_nnz_per_instance, network, scan_rate)
+    reasons: List[str] = []
+    feasible = []
+    for est in estimates.values():
+        if (memory_budget_bytes is not None
+                and est.histogram_memory_bytes > memory_budget_bytes):
+            reasons.append(
+                f"{est.quadrant} excluded: predicted histogram memory "
+                f"{est.histogram_memory_bytes / 2**30:.2f} GiB exceeds "
+                f"the {memory_budget_bytes / 2**30:.2f} GiB budget"
+            )
+        else:
+            feasible.append(est)
+    if not feasible:
+        raise ValueError(
+            "no quadrant fits the memory budget; add workers or shrink "
+            "the model (fewer layers/candidates)"
+        )
+    ranking = sorted(feasible, key=lambda e: e.total_seconds)
+    best = ranking[0]
+    reasons.append(
+        f"{best.quadrant} ({best.description}) predicted cheapest: "
+        f"{best.comp_seconds * 1e3:.1f} ms compute + "
+        f"{best.comm_seconds * 1e3:.1f} ms network per tree"
+    )
+    if len(ranking) > 1:
+        runner = ranking[1]
+        reasons.append(
+            f"runner-up {runner.quadrant} at "
+            f"{runner.total_seconds * 1e3:.1f} ms per tree"
+        )
+    return Recommendation(best=best, ranking=ranking, reasons=reasons)
+
+
+def calibrate_scan_rate(sample_seconds: float,
+                        sample_accesses: float) -> float:
+    """Scan rate from a measured probe (e.g. one tree of the oracle)."""
+    if sample_seconds <= 0 or sample_accesses <= 0:
+        raise ValueError("probe measurements must be > 0")
+    return sample_accesses / sample_seconds

@@ -1,0 +1,402 @@
+"""Shared skeleton of the four distributed quadrant implementations.
+
+The paper's Section 5.2 methodology — "implement different quadrants in the
+same code base" — is realized here: every quadrant subclasses
+:class:`DistributedGBDT` and reuses the same split finding, leaf
+finalization, gradient bookkeeping, timing and memory accounting; only the
+partitioning scheme, storage pattern, index structure and communication
+pattern differ, each implemented in the subclass.
+
+Timing model
+------------
+Computation runs for real; each simulated worker's kernel time is measured
+with a wall clock, and a phase's parallel elapsed time is the *maximum*
+over workers (workers run concurrently in the modelled cluster).
+Communication time comes from the byte-accounted
+:class:`~repro.cluster.network.SimulatedNetwork`.  Per-tree reports split
+time into the paper's two buckets: ``Comp`` and ``Comm`` (Figure 10).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..config import ClusterConfig, TrainConfig
+from ..core.gbdt import evaluate
+from ..core.histogram import Histogram
+from ..core.loss import Loss, make_loss
+from ..core.split import SplitInfo, find_best_split, leaf_weight
+from ..core.tree import Tree, TreeEnsemble, layer_nodes
+from ..data.dataset import BinnedDataset, Dataset, bin_dataset
+from ..cluster.network import CommStats, SimulatedNetwork
+
+
+@dataclass
+class TreeReport:
+    """Cost breakdown of training one tree (one bar of Figure 10).
+
+    ``phase_seconds`` splits computation into the Section 3.2.4 phases
+    (gradient, histogram, split-find, node-split); per-phase maxima are
+    taken over workers independently, so they need not sum exactly to
+    ``comp_seconds`` (which is the max of per-worker totals).
+    """
+
+    comp_seconds: float = 0.0
+    comm_seconds: float = 0.0
+    comm_bytes: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.comp_seconds + self.comm_seconds
+
+
+@dataclass
+class MemoryReport:
+    """Peak per-worker memory split into the paper's two buckets
+    (Figure 10(e)/(f)): dataset storage vs gradient histograms."""
+
+    data_bytes: int = 0
+    histogram_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.histogram_bytes
+
+
+@dataclass
+class DistEvalRecord:
+    """Validation metric with the simulated time axis of Figure 11."""
+
+    tree_index: int
+    metric_name: str
+    metric_value: float
+    elapsed_seconds: float
+
+
+@dataclass
+class DistTrainResult:
+    """Model plus the full cost/quality record of a distributed run."""
+
+    ensemble: TreeEnsemble
+    tree_reports: List[TreeReport] = field(default_factory=list)
+    evals: List[DistEvalRecord] = field(default_factory=list)
+    memory: MemoryReport = field(default_factory=MemoryReport)
+    comm: CommStats = field(default_factory=CommStats)
+
+    def mean_tree_seconds(self) -> float:
+        if not self.tree_reports:
+            return 0.0
+        return float(
+            np.mean([r.total_seconds for r in self.tree_reports])
+        )
+
+    def mean_comp_seconds(self) -> float:
+        if not self.tree_reports:
+            return 0.0
+        return float(np.mean([r.comp_seconds for r in self.tree_reports]))
+
+    def mean_comm_seconds(self) -> float:
+        if not self.tree_reports:
+            return 0.0
+        return float(np.mean([r.comm_seconds for r in self.tree_reports]))
+
+    def std_tree_seconds(self) -> float:
+        if not self.tree_reports:
+            return 0.0
+        return float(np.std([r.total_seconds for r in self.tree_reports]))
+
+
+#: computation phases of one boosting round (Section 3.2.4 vocabulary)
+PHASES = ("gradient", "histogram", "split-find", "node-split")
+
+
+class WorkerClock:
+    """Per-worker computation stopwatch; phase time = max over workers.
+
+    ``speeds`` (from :attr:`ClusterConfig.worker_speeds`) scales measured
+    kernel time per worker: a 0.5-speed straggler is charged twice the
+    measured seconds, so the max-over-workers phase time reflects it.
+
+    Charges carry a *phase* label so the per-round breakdown (gradient /
+    histogram / split-find / node-split) can be reported — the paper's
+    Section 3.2.4 argues histogram construction dominates the rest.
+    """
+
+    def __init__(self, num_workers: int,
+                 speeds: Optional[Sequence[float]] = None) -> None:
+        self.seconds = np.zeros(num_workers, dtype=np.float64)
+        self.phase_seconds: Dict[str, np.ndarray] = {
+            phase: np.zeros(num_workers, dtype=np.float64)
+            for phase in PHASES
+        }
+        if speeds is None:
+            self._inv_speeds = np.ones(num_workers, dtype=np.float64)
+        else:
+            self._inv_speeds = 1.0 / np.asarray(speeds, dtype=np.float64)
+
+    def charge(self, worker: int, seconds: float,
+               phase: str = "histogram") -> None:
+        scaled = seconds * self._inv_speeds[worker]
+        self.seconds[worker] += scaled
+        self.phase_seconds[phase][worker] += scaled
+
+    def charge_all(self, seconds: float,
+                   phase: str = "histogram") -> None:
+        scaled = seconds * self._inv_speeds
+        self.seconds += scaled
+        self.phase_seconds[phase] += scaled
+
+    @property
+    def elapsed(self) -> float:
+        return float(self.seconds.max()) if self.seconds.size else 0.0
+
+    def phase_breakdown(self) -> Dict[str, float]:
+        """Per-phase parallel time (max over workers, per phase)."""
+        return {
+            phase: float(per_worker.max()) if per_worker.size else 0.0
+            for phase, per_worker in self.phase_seconds.items()
+        }
+
+
+class HistogramStore:
+    """Per-worker histogram cache with live/peak byte tracking.
+
+    Parents are retained for subtraction (Section 3.1.2), so the peak here
+    is exactly the paper's per-worker histogram memory.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[int, Histogram] = {}
+        self.live_bytes = 0
+        self.peak_bytes = 0
+
+    def put(self, node: int, hist: Histogram) -> None:
+        old = self._store.get(node)
+        if old is not None:
+            self.live_bytes -= old.nbytes
+        self._store[node] = hist
+        self.live_bytes += hist.nbytes
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+
+    def get(self, node: int) -> Histogram:
+        return self._store[node]
+
+    def pop(self, node: int) -> Optional[Histogram]:
+        hist = self._store.pop(node, None)
+        if hist is not None:
+            self.live_bytes -= hist.nbytes
+        return hist
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._store
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.live_bytes = 0
+
+
+class DistributedGBDT:
+    """Base distributed trainer; subclasses implement one quadrant."""
+
+    #: quadrant label, e.g. "QD4"
+    quadrant: str = "base"
+    #: human name, e.g. "Vero"
+    name: str = "base"
+    #: histogram subtraction (Section 2.1.2); disable for the ablation
+    use_subtraction: bool = True
+
+    def __init__(self, config: TrainConfig, cluster: ClusterConfig) -> None:
+        if config.uses_sampling:
+            raise ValueError(
+                "the distributed quadrants study full-dataset data "
+                "management; subsample/colsample are reference-trainer "
+                "features"
+            )
+        if config.growth != "layerwise":
+            raise ValueError(
+                "the distributed quadrants grow trees layer-wise "
+                "(the paper's strategy); leaf-wise growth is a "
+                "reference-trainer feature"
+            )
+        self.config = config
+        self.cluster = cluster
+        self.net = SimulatedNetwork(cluster.network)
+        self.loss: Loss = make_loss(config.objective, config.num_classes)
+
+    # -- subclass contract -----------------------------------------------------
+
+    def _setup(self, binned: BinnedDataset) -> None:
+        """Partition the dataset and initialize per-worker state."""
+        raise NotImplementedError
+
+    def _train_tree(self, grad: np.ndarray, hess: np.ndarray,
+                    clock: WorkerClock) -> Tuple[Tree, np.ndarray]:
+        """Grow one tree; returns it plus each instance's leaf id."""
+        raise NotImplementedError
+
+    def _histogram_peak_bytes(self) -> int:
+        """Max per-worker histogram memory seen so far."""
+        raise NotImplementedError
+
+    def _data_bytes(self) -> int:
+        """Max per-worker dataset memory (shard + labels)."""
+        raise NotImplementedError
+
+    # -- shared driver -----------------------------------------------------------
+
+    def fit(
+        self,
+        train: "Dataset | BinnedDataset",
+        valid: Optional[Dataset] = None,
+        num_trees: Optional[int] = None,
+    ) -> DistTrainResult:
+        """Train on a dataset (binned on the fly) or a pre-binned dataset."""
+        cfg = self.config
+        if isinstance(train, BinnedDataset):
+            binned = train
+        else:
+            binned = bin_dataset(train, cfg.num_candidates)
+        self._binned = binned
+        self._setup(binned)
+        ensemble = TreeEnsemble(self.loss.num_outputs, cfg.learning_rate)
+        result = DistTrainResult(ensemble)
+        scores = self.loss.init_scores(binned.num_instances)
+        valid_scores = (
+            self.loss.init_scores(valid.num_instances)
+            if valid is not None else None
+        )
+        grad_unit = self._measure_gradient_unit(binned, scores)
+        elapsed = 0.0
+        rounds = cfg.num_trees if num_trees is None else num_trees
+        for t in range(rounds):
+            clock = WorkerClock(self.cluster.num_workers,
+                                self.cluster.worker_speeds)
+            comm_before = self.net.snapshot()
+            grad, hess = self.loss.gradients(binned.labels, scores)
+            clock.charge_all(grad_unit * self._gradient_instances(),
+                             phase="gradient")
+            tree, leaf_of_instance = self._train_tree(grad, hess, clock)
+            ensemble.append(tree)
+            scores += cfg.learning_rate * _leaf_scores(tree,
+                                                       leaf_of_instance)
+            comm_delta = self.net.snapshot().minus(comm_before)
+            report = TreeReport(
+                comp_seconds=clock.elapsed,
+                comm_seconds=comm_delta.total_seconds,
+                comm_bytes=comm_delta.total_bytes,
+                phase_seconds=clock.phase_breakdown(),
+            )
+            result.tree_reports.append(report)
+            elapsed += report.total_seconds
+            if valid is not None:
+                valid_scores += cfg.learning_rate * tree.predict(valid.csc())
+                rec = evaluate(self.loss, valid, valid_scores, t,
+                               train_loss=0.0)
+                result.evals.append(
+                    DistEvalRecord(t, rec.metric_name, rec.metric_value,
+                                   elapsed)
+                )
+        result.memory = MemoryReport(
+            data_bytes=self._data_bytes(),
+            histogram_bytes=self._histogram_peak_bytes(),
+        )
+        result.comm = self.net.snapshot()
+        return result
+
+    def predict(self, ensemble: TreeEnsemble,
+                dataset: Dataset) -> np.ndarray:
+        """Predictions in the objective's natural space."""
+        return self.loss.predict(ensemble.raw_scores(dataset.csc()))
+
+    # -- shared pieces used by subclasses ---------------------------------------
+
+    def _measure_gradient_unit(self, binned: BinnedDataset,
+                               scores: np.ndarray) -> float:
+        """Measured seconds per instance of one gradient computation."""
+        start = time.perf_counter()
+        self.loss.gradients(binned.labels, scores)
+        total = time.perf_counter() - start
+        return total / max(binned.num_instances, 1)
+
+    def _gradient_instances(self) -> int:
+        """Instances each worker computes gradients for.
+
+        Horizontal partitioning: the shard's rows (``N / W``); vertical:
+        every worker holds all labels and computes all ``N`` (Section
+        2.2.1).  Subclasses override accordingly.
+        """
+        raise NotImplementedError
+
+    def _decide_split(
+        self,
+        hist: Histogram,
+        stats: Tuple[np.ndarray, np.ndarray],
+        count: int,
+        bins_per_feature: np.ndarray,
+    ) -> Optional[SplitInfo]:
+        """Local best split under the shared acceptance rules."""
+        cfg = self.config
+        if count < max(2, 2 * cfg.min_node_instances):
+            return None
+        split = find_best_split(
+            hist, stats[0], stats[1], cfg.reg_lambda, cfg.reg_gamma,
+            bins_per_feature,
+        )
+        if split is not None and split.gain < cfg.min_split_gain:
+            return None
+        return split
+
+    def _leaf(self, stats: Tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        return leaf_weight(stats[0], stats[1], self.config.reg_lambda)
+
+
+def _leaf_scores(tree: Tree, leaf_of_instance: np.ndarray) -> np.ndarray:
+    """Per-instance leaf weights from the training-time assignment."""
+    out = np.zeros((leaf_of_instance.size, tree.gradient_dim))
+    for node_id, node in tree.nodes.items():
+        if node.is_leaf:
+            mask = leaf_of_instance == node_id
+            if mask.any():
+                out[mask] = node.weight
+    return out
+
+
+def subtraction_schedule(
+    nodes: Sequence[int], counts: Dict[int, int], have_parent: Set[int]
+) -> List[Tuple[str, int, int]]:
+    """Plan histogram construction for one layer (master's "schema").
+
+    Returns a list of ``("build", node, -1)`` and
+    ``("subtract", node, sibling)`` actions: for each sibling pair whose
+    parent histogram is retained, build only the smaller child and derive
+    the other (Section 2.1.2); every other node is built directly.
+    """
+    actions: List[Tuple[str, int, int]] = []
+    done: Set[int] = set()
+    node_set = set(nodes)
+    for node in nodes:
+        if node in done:
+            continue
+        if node == 0:
+            actions.append(("build", node, -1))
+            done.add(node)
+            continue
+        parent = (node - 1) // 2
+        sibling = node + 1 if node % 2 == 1 else node - 1
+        if sibling in node_set and parent in have_parent:
+            left, right = min(node, sibling), max(node, sibling)
+            small = left if counts.get(left, 0) <= counts.get(right, 0) \
+                else right
+            large = right if small == left else left
+            actions.append(("build", small, -1))
+            actions.append(("subtract", large, small))
+            done.update((small, large))
+        else:
+            actions.append(("build", node, -1))
+            done.add(node)
+    return actions

@@ -1,0 +1,97 @@
+"""Closed-form cost model of Section 3.
+
+These formulas are the paper's analytical claims; the test suite checks
+the simulator against them, and ``tests/test_costmodel.py`` reproduces the
+worked example of Section 3.1.4 (the industrial *Age* dataset) exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.histogram import histogram_size_bytes
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """The quantities the Section 3 analysis is parameterized by."""
+
+    num_instances: int            # N
+    num_features: int             # D
+    num_workers: int              # W
+    num_layers: int               # L
+    num_candidates: int           # q
+    num_classes: int = 1          # C (1 for binary per Section 3)
+
+    def __post_init__(self) -> None:
+        if min(self.num_instances, self.num_features, self.num_workers,
+               self.num_layers, self.num_candidates,
+               self.num_classes) < 1:
+            raise ValueError("all shape parameters must be >= 1")
+
+
+def sizehist_bytes(shape: WorkloadShape) -> int:
+    """``Sizehist = 2 * D * q * C * 8`` bytes (Section 3.1.1)."""
+    return histogram_size_bytes(shape.num_features, shape.num_candidates,
+                                shape.num_classes)
+
+
+def horizontal_histogram_memory_bytes(shape: WorkloadShape) -> int:
+    """Per-worker histogram memory, horizontal: ``Sizehist * 2^(L-2)``."""
+    return sizehist_bytes(shape) * 2 ** (shape.num_layers - 2)
+
+
+def vertical_histogram_memory_bytes(shape: WorkloadShape) -> float:
+    """Per-worker histogram memory, vertical: horizontal / W (expected)."""
+    return horizontal_histogram_memory_bytes(shape) / shape.num_workers
+
+
+def horizontal_comm_bytes_per_tree(shape: WorkloadShape) -> int:
+    """Total aggregation traffic for one tree, horizontal partitioning:
+    ``Sizehist * W * (2^(L-1) - 1)`` (Section 3.1.3)."""
+    return (
+        sizehist_bytes(shape) * shape.num_workers
+        * (2 ** (shape.num_layers - 1) - 1)
+    )
+
+
+def vertical_comm_bytes_per_tree(shape: WorkloadShape) -> int:
+    """Total placement traffic for one tree, vertical partitioning:
+    ``ceil(N / 8) * W * L`` (Section 3.1.3)."""
+    bitmap = (shape.num_instances + 7) // 8
+    return bitmap * shape.num_workers * shape.num_layers
+
+
+def histogram_construction_cost(shape: WorkloadShape,
+                                avg_nnz_per_instance: float) -> float:
+    """Per-layer accesses ``O(N * d / W)`` (Section 3.2.4)."""
+    return shape.num_instances * avg_nnz_per_instance / shape.num_workers
+
+
+def colstore_node_index_cost(shape: WorkloadShape,
+                             avg_nnz_per_instance: float) -> float:
+    """Column-store + node-to-instance: binary search per access adds a
+    ``log(N * d / (W * D))`` factor (Section 3.2.4)."""
+    import math
+
+    base = histogram_construction_cost(shape, avg_nnz_per_instance)
+    per_column = max(
+        shape.num_instances * avg_nnz_per_instance
+        / (shape.num_workers * shape.num_features),
+        2.0,
+    )
+    return base * math.log2(per_column)
+
+
+def split_finding_cost(shape: WorkloadShape) -> float:
+    """``O(q * D / W)`` per layer regardless of partitioning."""
+    return (
+        shape.num_candidates * shape.num_features / shape.num_workers
+    )
+
+
+def node_splitting_cost(shape: WorkloadShape, vertical: bool) -> float:
+    """Index update per layer: ``O(N/W)`` horizontal, ``O(N)`` vertical."""
+    if vertical:
+        return float(shape.num_instances)
+    return shape.num_instances / shape.num_workers

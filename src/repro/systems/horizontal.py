@@ -1,0 +1,135 @@
+"""Shared machinery of the horizontally partitioned quadrants (QD1, QD2).
+
+Each worker owns a contiguous row range of the dataset and a full copy of
+nothing else: histograms must be aggregated across workers before split
+finding (Section 2.2.1, Figure 4(a)), and node splitting is purely local —
+every worker knows all features of its own rows, so no placement broadcast
+is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..cluster.partition import horizontal_shards
+from ..core.histogram import node_totals
+from ..core.indexing import NodeToInstanceIndex
+from ..core.split import SplitInfo
+from ..core.tree import Tree, layer_nodes
+from ..data.dataset import BinnedDataset
+from .base import DistributedGBDT, HistogramStore, WorkerClock
+
+
+class HorizontalGBDT(DistributedGBDT):
+    """Base class of QD1 and QD2: horizontal partitioning."""
+
+    def _setup(self, binned: BinnedDataset) -> None:
+        num_workers = self.cluster.num_workers
+        self.shards, self.row_ranges = horizontal_shards(binned,
+                                                         num_workers)
+        self.stores = [HistogramStore() for _ in range(num_workers)]
+        # contiguous feature ranges used for reduce-scatter / server shards
+        bounds = np.linspace(0, binned.num_features,
+                             num_workers + 1).astype(np.int64)
+        self.feature_ranges = [
+            np.arange(bounds[w], bounds[w + 1], dtype=np.int64)
+            for w in range(num_workers)
+        ]
+        self._reset_tree_state()
+
+    def _reset_tree_state(self) -> None:
+        self.indexes = [
+            NodeToInstanceIndex(shard.num_instances)
+            for shard in self.shards
+        ]
+        for store in self.stores:
+            store.clear()
+        self.global_stats: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def _gradient_instances(self) -> int:
+        """Each worker computes gradients for its own rows only."""
+        return max(r.size for r in self.row_ranges)
+
+    # -- helpers shared by QD1/QD2 ------------------------------------------------
+
+    def _local_grad(self, grad: np.ndarray, hess: np.ndarray,
+                    worker: int) -> Tuple[np.ndarray, np.ndarray]:
+        rows = self.row_ranges[worker]
+        return grad[rows], hess[rows]
+
+    def _node_count(self, node: int) -> int:
+        return sum(index.count_of(node) for index in self.indexes)
+
+    def _aggregate_stats(self, node: int, grad: np.ndarray,
+                         hess: np.ndarray) -> None:
+        """Global node totals as the sum of per-worker local totals."""
+        total_g = np.zeros(grad.shape[1])
+        total_h = np.zeros(hess.shape[1])
+        for worker, index in enumerate(self.indexes):
+            local_g, local_h = self._local_grad(grad, hess, worker)
+            g, h = node_totals(index.rows_of(node), local_g, local_h)
+            total_g += g
+            total_h += h
+        self.global_stats[node] = (total_g, total_h)
+
+    def _apply_layer_splits(
+        self,
+        tree: Tree,
+        splits: Dict[int, SplitInfo],
+        grad: np.ndarray,
+        hess: np.ndarray,
+        active: Set[int],
+        clock: WorkerClock,
+        placement_fn,
+    ) -> None:
+        """Split nodes on every worker (local placement computation).
+
+        ``placement_fn(worker, splits) -> {node: go_left}`` encapsulates
+        the storage-pattern-specific placement kernel.
+        """
+        binned = self._binned
+        for node, split in splits.items():
+            tree.set_split(node, split,
+                           binned.threshold_of(split.feature, split.bin))
+        for worker, index in enumerate(self.indexes):
+            start = time.perf_counter()
+            placements = placement_fn(worker, splits)
+            for node in splits:
+                left, right = 2 * node + 1, 2 * node + 2
+                index.split_node(node, placements[node], left, right)
+            clock.charge(worker, time.perf_counter() - start,
+                         phase="node-split")
+        for node in splits:
+            left, right = 2 * node + 1, 2 * node + 2
+            self._aggregate_stats(left, grad, hess)
+            self._aggregate_stats(right, grad, hess)
+            active.discard(node)
+            active.update((left, right))
+
+    def _finalize_leaf(self, tree: Tree, node: int,
+                       active: Set[int]) -> None:
+        tree.set_leaf(node, self._leaf(self.global_stats[node]))
+        active.discard(node)
+        for index in self.indexes:
+            index.retire_node(node)
+        for store in self.stores:
+            store.pop(node)
+
+    def _assemble_leaves(self) -> np.ndarray:
+        """Global per-instance leaf ids from the worker-local indexes."""
+        leaf = np.empty(self._binned.num_instances, dtype=np.int32)
+        for worker, index in enumerate(self.indexes):
+            leaf[self.row_ranges[worker]] = index.node_of_instance
+        return leaf
+
+    def _data_bytes(self) -> int:
+        return max(
+            shard.binned.nbytes + shard.labels.nbytes
+            for shard in self.shards
+        )
+
+    def _histogram_peak_bytes(self) -> int:
+        return max(store.peak_bytes for store in self.stores)

@@ -1,0 +1,269 @@
+"""Shared machinery of the vertically partitioned quadrants (QD3, QD4).
+
+Each worker owns a column group — all ``N`` values of its assigned
+features — plus a full copy of the labels (broadcast in step 5 of the
+transformation), so histograms never need aggregation: every worker
+proposes a local best split for its features, the master elects the global
+best, and only the owner of the winning feature can compute the resulting
+instance placement, which it broadcasts as a bitmap (Section 2.2.1,
+Figure 4(b); Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..cluster.bitmap import (bitmap_nbytes, decode_placement,
+                              encode_placement)
+from ..cluster.comm import broadcast_bytes, exchange_split_infos
+from ..cluster.partition import vertical_shards
+from ..core.histogram import Histogram, node_totals
+from ..core.indexing import NodeToInstanceIndex
+from ..core.split import SplitInfo
+from ..core.tree import Tree, layer_nodes
+from ..data.dataset import BinnedDataset
+from .base import DistributedGBDT, HistogramStore, WorkerClock, \
+    subtraction_schedule
+
+
+class VerticalGBDT(DistributedGBDT):
+    """Base class of QD3 and QD4: vertical partitioning."""
+
+    #: column grouping strategy (Section 4.2.3); ablations override
+    grouping: str = "greedy"
+
+    def _setup(self, binned: BinnedDataset) -> None:
+        num_workers = self.cluster.num_workers
+        self.shards, self.groups = vertical_shards(
+            binned, num_workers, strategy=self.grouping,
+            seed=self.cluster.seed,
+        )
+        self.owner_of_feature = np.empty(binned.num_features,
+                                         dtype=np.int64)
+        self.local_of_feature = np.empty(binned.num_features,
+                                         dtype=np.int64)
+        for worker, group in enumerate(self.groups):
+            self.owner_of_feature[group] = worker
+            self.local_of_feature[group] = np.arange(group.size)
+        self.stores = [HistogramStore() for _ in range(num_workers)]
+        self._setup_storage()
+        self._reset_tree_state()
+
+    def _setup_storage(self) -> None:
+        """Hook for subclasses to materialize their storage pattern."""
+
+    def _reset_tree_state(self) -> None:
+        # One physical index stands in for the per-worker replicas: every
+        # worker applies identical bitmap updates (Section 4.2.2), so the
+        # replicas never diverge.  Update time is charged to all workers.
+        self.index = NodeToInstanceIndex(self._binned.num_instances)
+        for store in self.stores:
+            store.clear()
+        self.stats: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def _gradient_instances(self) -> int:
+        """Every worker holds all labels and computes all gradients."""
+        return self._binned.num_instances
+
+    # -- subclass contract -----------------------------------------------------------
+
+    def _build_node_hist(
+        self, worker: int, node: int, rows: np.ndarray,
+        grad: np.ndarray, hess: np.ndarray,
+    ) -> Histogram:
+        """Histogram of one node over the worker's feature group."""
+        raise NotImplementedError
+
+    def _owner_placements(
+        self, worker: int, splits: Dict[int, SplitInfo],
+    ) -> Dict[int, np.ndarray]:
+        """``go_left`` per node, computed by the split owner in one pass
+        over its shard (``splits`` carries shard-local feature ids)."""
+        raise NotImplementedError
+
+    def _after_layer_split(self, split_nodes: Sequence[int],
+                           clock: WorkerClock) -> None:
+        """Hook for extra per-layer index maintenance (Yggdrasil mode)."""
+
+    # -- the vertical training loop ----------------------------------------------------
+
+    def _train_tree(self, grad: np.ndarray, hess: np.ndarray,
+                    clock: WorkerClock) -> Tuple[Tree, np.ndarray]:
+        cfg = self.config
+        self._reset_tree_state()
+        tree = Tree(cfg.num_layers, grad.shape[1])
+        self._set_stats(0, grad, hess, clock)
+        active: Set[int] = {0}
+
+        for layer in range(cfg.num_layers - 1):
+            nodes = [n for n in layer_nodes(layer) if n in active]
+            if not nodes:
+                break
+            self._build_histograms(nodes, grad, hess, clock)
+            splits = self._find_splits(nodes, clock)
+            for node in nodes:
+                if node not in splits:
+                    self._finalize_leaf(tree, node, active)
+            self._split_nodes(tree, splits, grad, hess, active, clock)
+            self._after_layer_split(sorted(splits), clock)
+            if not self.use_subtraction:
+                # parents are never consumed by subtraction: drop them
+                for store in self.stores:
+                    for node in nodes:
+                        store.pop(node)
+        for node in sorted(active):
+            self._finalize_leaf(tree, node, active)
+        return tree, self.index.node_of_instance.copy()
+
+    def _set_stats(self, node: int, grad: np.ndarray, hess: np.ndarray,
+                   clock: WorkerClock) -> None:
+        """Node totals — computed identically on every worker."""
+        start = time.perf_counter()
+        self.stats[node] = node_totals(self.index.rows_of(node), grad,
+                                       hess)
+        clock.charge_all(time.perf_counter() - start,
+                         phase="split-find")
+
+    def _build_histograms(
+        self,
+        nodes: Sequence[int],
+        grad: np.ndarray,
+        hess: np.ndarray,
+        clock: WorkerClock,
+    ) -> None:
+        counts = {node: self.index.count_of(node) for node in nodes}
+        have_parent = {
+            (node - 1) // 2 for node in nodes
+            if node > 0 and (node - 1) // 2 in self.stores[0]
+        } if self.use_subtraction else set()
+        actions = subtraction_schedule(nodes, counts, have_parent)
+        for worker in range(self.cluster.num_workers):
+            if self.groups[worker].size == 0:
+                continue  # worker owns no features (W > D)
+            store = self.stores[worker]
+            start = time.perf_counter()
+            for op, node, other in actions:
+                if op == "build":
+                    hist = self._build_node_hist(
+                        worker, node, self.index.rows_of(node), grad,
+                        hess,
+                    )
+                    store.put(node, hist)
+                else:
+                    parent = (node - 1) // 2
+                    store.put(node, store.get(parent).subtract(
+                        store.get(other)))
+            for op, node, _ in actions:
+                if op == "subtract":
+                    store.pop((node - 1) // 2)
+            clock.charge(worker, time.perf_counter() - start)
+
+    def _find_splits(self, nodes: Sequence[int],
+                     clock: WorkerClock) -> Dict[int, SplitInfo]:
+        """Local best per worker, global election (no aggregation)."""
+        splits: Dict[int, SplitInfo] = {}
+        bins = self._binned.bins_per_feature
+        for node in nodes:
+            best: Optional[SplitInfo] = None
+            for worker, group in enumerate(self.groups):
+                if group.size == 0:
+                    continue
+                start = time.perf_counter()
+                candidate = self._decide_split(
+                    self.stores[worker].get(node), self.stats[node],
+                    self.index.count_of(node), bins[group],
+                )
+                clock.charge(worker, time.perf_counter() - start,
+                             phase="split-find")
+                if candidate is not None:
+                    candidate = SplitInfo(
+                        feature=int(group[candidate.feature]),
+                        bin=candidate.bin,
+                        default_left=candidate.default_left,
+                        gain=candidate.gain,
+                    )
+                    if candidate.better_than(best):
+                        best = candidate
+            if best is not None:
+                splits[node] = best
+        # one exchange covers every node of the layer
+        exchange_split_infos(len(nodes), self.cluster.num_workers,
+                             self.net)
+        return splits
+
+    def _split_nodes(
+        self,
+        tree: Tree,
+        splits: Dict[int, SplitInfo],
+        grad: np.ndarray,
+        hess: np.ndarray,
+        active: Set[int],
+        clock: WorkerClock,
+    ) -> None:
+        binned = self._binned
+        # Group the layer's splits by owner; each owner computes all of
+        # its placements in ONE pass over its shard (O(rows + entries)
+        # per layer, the Section 3.2.4 node-splitting bound).
+        by_owner: Dict[int, Dict[int, SplitInfo]] = {}
+        for node, split in sorted(splits.items()):
+            tree.set_split(node, split,
+                           binned.threshold_of(split.feature, split.bin))
+            owner = int(self.owner_of_feature[split.feature])
+            local = SplitInfo(
+                feature=int(self.local_of_feature[split.feature]),
+                bin=split.bin,
+                default_left=split.default_left,
+                gain=split.gain,
+            )
+            by_owner.setdefault(owner, {})[node] = local
+        placements: Dict[int, np.ndarray] = {}
+        payloads: Dict[int, bytes] = {}
+        bitmap_bytes = 0
+        for owner, local_splits in by_owner.items():
+            start = time.perf_counter()
+            owner_placements = self._owner_placements(owner, local_splits)
+            for node, go_left in owner_placements.items():
+                payloads[node] = encode_placement(go_left)
+                bitmap_bytes += bitmap_nbytes(go_left.size)
+            clock.charge(owner, time.perf_counter() - start,
+                         phase="node-split")
+            placements.update(owner_placements)
+        # one placement broadcast per layer: at most ceil(N/8) bytes of
+        # bitmap covering every split node (Section 3.1.3)
+        broadcast_bytes(bitmap_bytes, self.cluster.num_workers, self.net,
+                        kind="placement-bitmap")
+        start = time.perf_counter()
+        for node in sorted(splits):
+            decoded = decode_placement(payloads[node],
+                                       placements[node].size)
+            left, right = 2 * node + 1, 2 * node + 2
+            self.index.split_node(node, decoded, left, right)
+        clock.charge_all(time.perf_counter() - start, phase="node-split")
+        for node in sorted(splits):
+            left, right = 2 * node + 1, 2 * node + 2
+            self._set_stats(left, grad, hess, clock)
+            self._set_stats(right, grad, hess, clock)
+            active.discard(node)
+            active.update((left, right))
+
+    def _finalize_leaf(self, tree: Tree, node: int,
+                       active: Set[int]) -> None:
+        tree.set_leaf(node, self._leaf(self.stats[node]))
+        active.discard(node)
+        self.index.retire_node(node)
+        for store in self.stores:
+            store.pop(node)
+
+    # -- accounting ---------------------------------------------------------------------
+
+    def _data_bytes(self) -> int:
+        return max(
+            shard.binned.nbytes + self._binned.labels.nbytes
+            for shard in self.shards
+        )
+
+    def _histogram_peak_bytes(self) -> int:
+        return max(store.peak_bytes for store in self.stores)

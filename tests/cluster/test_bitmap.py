@@ -1,0 +1,60 @@
+"""Placement bitmap tests (Section 4.2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.bitmap import (bitmap_nbytes, decode_placement,
+                                  encode_placement)
+
+
+class TestBitmap:
+    def test_round_trip(self, rng):
+        go_left = rng.random(100) < 0.5
+        decoded = decode_placement(encode_placement(go_left), 100)
+        np.testing.assert_array_equal(decoded, go_left)
+
+    def test_nbytes_formula(self):
+        assert bitmap_nbytes(0) == 0
+        assert bitmap_nbytes(1) == 1
+        assert bitmap_nbytes(8) == 1
+        assert bitmap_nbytes(9) == 2
+        # the Section 3.1.4 example: 48M instances -> 6 MB
+        assert bitmap_nbytes(48_000_000) == 6_000_000
+
+    def test_payload_size_matches_formula(self, rng):
+        for n in (1, 7, 8, 9, 63, 64, 65):
+            go_left = rng.random(n) < 0.5
+            assert len(encode_placement(go_left)) == bitmap_nbytes(n)
+
+    def test_32x_compression_vs_int32(self):
+        """The paper's claim: bitmaps reduce placement traffic by 32x."""
+        n = 1024
+        assert n * 4 / bitmap_nbytes(n) == 32.0
+
+    def test_count_too_large(self):
+        with pytest.raises(ValueError, match="bits"):
+            decode_placement(b"\x00", 9)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            decode_placement(b"", -1)
+        with pytest.raises(ValueError):
+            bitmap_nbytes(-1)
+
+    def test_empty(self):
+        assert decode_placement(b"", 0).size == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(bits=st.lists(st.booleans(), min_size=0, max_size=300))
+def test_property_round_trip(bits):
+    go_left = np.array(bits, dtype=bool)
+    payload = encode_placement(go_left)
+    assert len(payload) == bitmap_nbytes(go_left.size)
+    np.testing.assert_array_equal(
+        decode_placement(payload, go_left.size), go_left
+    )

@@ -1,0 +1,98 @@
+"""Blockified column group and two-phase index tests (Figure 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.blocks import (Block, BlockedColumnGroup,
+                                  blockify_shard)
+from repro.data.matrix import CSRMatrix
+
+
+def make_group(rng, num_rows=60, num_features=5, num_blocks=4):
+    """Random binned matrix split into row blocks."""
+    dense = np.full((num_rows, num_features), -1, dtype=np.int64)
+    mask = rng.random((num_rows, num_features)) < 0.5
+    dense[mask] = rng.integers(0, 8, size=mask.sum())
+    rows = []
+    for i in range(num_rows):
+        cols = np.flatnonzero(dense[i] >= 0)
+        rows.append([(int(c), int(dense[i, c])) for c in cols])
+    csr = CSRMatrix.from_rows(rows, num_features, dtype=np.int32)
+    bounds = np.linspace(0, num_rows, num_blocks + 1).astype(int)
+    blocks = [
+        blockify_shard(
+            csr.select_rows(np.arange(lo, hi)), row_offset=int(lo)
+        )
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+    ]
+    return csr, BlockedColumnGroup(blocks, num_features)
+
+
+class TestBlock:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="indptr"):
+            Block(0, np.array([0, 2]), np.array([1]), np.array([1]))
+        with pytest.raises(ValueError, match="align"):
+            Block(0, np.array([0, 2]), np.array([1, 2]), np.array([1]))
+
+    def test_nbytes(self, rng):
+        _, group = make_group(rng)
+        assert all(b.nbytes > 0 for b in group.blocks)
+
+
+class TestBlockedColumnGroup:
+    def test_blocks_must_tile(self, rng):
+        csr, _ = make_group(rng, num_rows=20, num_blocks=2)
+        b0 = blockify_shard(csr.select_rows(np.arange(0, 10)), 0)
+        b2 = blockify_shard(csr.select_rows(np.arange(12, 20)), 12)
+        with pytest.raises(ValueError, match="tile"):
+            BlockedColumnGroup([b0, b2], 5)
+
+    def test_first_block_at_zero(self, rng):
+        csr, _ = make_group(rng, num_rows=20, num_blocks=1)
+        block = blockify_shard(csr.select_rows(np.arange(5, 20)), 5)
+        with pytest.raises(ValueError, match="instance 0"):
+            BlockedColumnGroup([block], 5)
+
+    def test_two_phase_lookup_matches_csr(self, rng):
+        csr, group = make_group(rng)
+        for i in range(csr.num_rows):
+            cols, bins = group.lookup(i)
+            ref_cols, ref_bins = csr.row(i)
+            np.testing.assert_array_equal(cols, ref_cols)
+            np.testing.assert_array_equal(bins, ref_bins)
+
+    def test_lookup_out_of_range(self, rng):
+        _, group = make_group(rng)
+        with pytest.raises(IndexError):
+            group.lookup(60)
+
+    def test_merge_reduces_block_count(self, rng):
+        csr, group = make_group(rng, num_blocks=9)
+        merged = group.merge(max_blocks=3)
+        assert merged.num_blocks <= 3
+        for i in range(csr.num_rows):
+            np.testing.assert_array_equal(merged.lookup(i)[0],
+                                          csr.row(i)[0])
+
+    def test_merge_noop_when_small(self, rng):
+        _, group = make_group(rng, num_blocks=2)
+        assert group.merge(max_blocks=5) is group
+
+    def test_to_csr_round_trip(self, rng):
+        csr, group = make_group(rng)
+        assert group.to_csr() == csr
+
+    def test_empty_group(self):
+        group = BlockedColumnGroup([], 3)
+        assert group.num_rows == 0
+        assert group.to_csr().shape == (0, 3)
+
+    def test_blocks_sorted_by_offset(self, rng):
+        csr, _ = make_group(rng, num_rows=20, num_blocks=1)
+        b0 = blockify_shard(csr.select_rows(np.arange(0, 10)), 0)
+        b1 = blockify_shard(csr.select_rows(np.arange(10, 20)), 10)
+        group = BlockedColumnGroup([b1, b0], 5)  # reversed input
+        assert [b.row_offset for b in group.blocks] == [0, 10]

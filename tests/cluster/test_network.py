@@ -1,0 +1,73 @@
+"""Simulated network accounting tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import SimulatedNetwork
+from repro.config import NetworkModel
+
+
+class TestNetworkModel:
+    def test_transfer_time_formula(self):
+        model = NetworkModel(bandwidth_gbps=1.0, latency_s=0.001)
+        # 125 MB over 1 Gbps = 1 second + latency
+        assert model.transfer_time(125_000_000) == pytest.approx(1.001)
+
+    def test_zero_bytes_is_free(self):
+        assert NetworkModel().transfer_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time(-1)
+
+    def test_profiles(self):
+        assert NetworkModel.production().bandwidth_gbps == \
+            10 * NetworkModel.laboratory().bandwidth_gbps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_gbps=0)
+        with pytest.raises(ValueError):
+            NetworkModel(latency_s=-1)
+
+
+class TestSimulatedNetwork:
+    def test_records_accumulate(self):
+        net = SimulatedNetwork(NetworkModel())
+        net.record("a", 100, 0.5)
+        net.record("a", 50, 0.25)
+        net.record("b", 10, 0.1)
+        assert net.total_bytes == 160
+        assert net.total_seconds == pytest.approx(0.85)
+        stats = net.snapshot()
+        assert stats.bytes_by_kind == {"a": 150, "b": 10}
+
+    def test_snapshot_diff(self):
+        net = SimulatedNetwork(NetworkModel())
+        net.record("x", 100, 1.0)
+        before = net.snapshot()
+        net.record("x", 40, 0.4)
+        net.record("y", 5, 0.05)
+        delta = net.snapshot().minus(before)
+        assert delta.total_bytes == 45
+        assert delta.total_seconds == pytest.approx(0.45)
+        assert delta.bytes_by_kind == {"x": 40, "y": 5}
+
+    def test_snapshot_is_isolated(self):
+        net = SimulatedNetwork(NetworkModel())
+        snap = net.snapshot()
+        net.record("x", 1, 0.1)
+        assert snap.total_bytes == 0
+
+    def test_transfer_uses_model(self):
+        net = SimulatedNetwork(NetworkModel(bandwidth_gbps=8.0,
+                                            latency_s=0.0))
+        seconds = net.transfer("t", 1_000_000_000)
+        assert seconds == pytest.approx(1.0)
+        assert net.total_bytes == 1_000_000_000
+
+    def test_rejects_negative(self):
+        net = SimulatedNetwork(NetworkModel())
+        with pytest.raises(ValueError):
+            net.record("x", -1, 0.0)

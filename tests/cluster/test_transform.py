@@ -1,0 +1,131 @@
+"""Horizontal-to-vertical transformation tests (Section 4.2.1, Table 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.transform import (compressed_pair_bytes,
+                                     horizontal_to_vertical)
+from repro.config import ClusterConfig
+from repro.data.synthetic import make_classification
+
+
+@pytest.fixture(scope="module")
+def transform_result():
+    ds = make_classification(600, 80, density=0.3, seed=21)
+    cluster = ClusterConfig(num_workers=4)
+    return ds, horizontal_to_vertical(ds, cluster, num_candidates=12)
+
+
+class TestCorrectness:
+    def test_features_tile(self, transform_result):
+        ds, result = transform_result
+        combined = np.sort(np.concatenate(result.groups))
+        np.testing.assert_array_equal(combined,
+                                      np.arange(ds.num_features))
+
+    def test_shards_agree_with_global(self, transform_result):
+        ds, result = transform_result
+        dense = result.global_binned.binned.to_dense()
+        for shard, group in zip(result.shards, result.groups):
+            np.testing.assert_array_equal(shard.binned.to_dense(),
+                                          dense[:, group])
+
+    def test_blocked_groups_match_shards(self, transform_result):
+        """The blockified representation holds the same data as the
+        training shards, instance by instance (two-phase lookup)."""
+        ds, result = transform_result
+        for shard, blocked in zip(result.shards, result.blocked_groups):
+            assert blocked.num_rows == ds.num_instances
+            for i in (0, 5, 100, ds.num_instances - 1):
+                cols, bins = blocked.lookup(i)
+                ref_cols, ref_bins = shard.binned.row(i)
+                np.testing.assert_array_equal(np.sort(cols),
+                                              np.sort(ref_cols))
+
+    def test_blocks_are_merged(self, transform_result):
+        _, result = transform_result
+        for blocked in result.blocked_groups:
+            assert blocked.num_blocks <= 5
+
+    def test_bin_values_consistent_with_cuts(self, transform_result):
+        """Every binned value equals the searchsorted rank of the raw
+        value in that feature's cut array — the encoding is lossless with
+        respect to the histograms."""
+        ds, result = transform_result
+        csr = ds.features
+        binned = result.global_binned.binned
+        for i in (0, 17, 300):
+            cols, vals = csr.row(i)
+            _, bins = binned.row(i)
+            for c, v, b in zip(cols, vals, bins):
+                assert b == np.searchsorted(result.cuts[c], v,
+                                            side="left")
+
+    def test_labels_preserved(self, transform_result):
+        ds, result = transform_result
+        np.testing.assert_array_equal(result.global_binned.labels,
+                                      ds.labels)
+
+
+class TestCostReport:
+    def test_all_steps_accounted(self, transform_result):
+        _, result = transform_result
+        report = result.report
+        assert report.load_data_seconds > 0
+        assert report.get_splits_seconds > 0
+        assert report.broadcast_label_seconds > 0
+        assert set(report.repartition_seconds) == {
+            "naive", "compressed", "blockified"
+        }
+
+    def test_encoding_ordering(self, transform_result):
+        """Table 5 shape: naive >= compressed >= blockified (time), and
+        naive strictly exceeds compressed in bytes."""
+        _, result = transform_result
+        seconds = result.report.repartition_seconds
+        nbytes = result.report.repartition_bytes
+        assert seconds["naive"] >= seconds["compressed"] >= \
+            seconds["blockified"]
+        assert nbytes["naive"] > nbytes["compressed"]
+        assert nbytes["compressed"] == nbytes["blockified"]
+
+    def test_compression_ratio_about_4x(self, transform_result):
+        """12-byte raw pairs vs 2-3 encoded bytes: the paper reports up
+        to 4x compression."""
+        _, result = transform_result
+        assert result.report.compression_ratio >= 4.0
+
+    def test_total_seconds(self, transform_result):
+        _, result = transform_result
+        report = result.report
+        assert report.total_seconds("blockified") <= \
+            report.total_seconds("naive")
+
+
+class TestCompressedPairBytes:
+    def test_small_group(self):
+        # 100 features -> 1 byte fid; 20 bins -> 1 byte bin
+        assert compressed_pair_bytes(100, 20) == 2
+
+    def test_large_group(self):
+        # 100k features -> 3 bytes fid
+        assert compressed_pair_bytes(100_000, 20) == 4
+
+    def test_minimum_one_byte_each(self):
+        assert compressed_pair_bytes(1, 1) == 2
+
+
+class TestTrainingOnTransformed:
+    def test_vero_fit_from_raw(self):
+        from repro import TrainConfig, Vero
+
+        ds = make_classification(500, 40, density=0.5, seed=22)
+        train, valid = ds.split(0.8, seed=1)
+        cfg = TrainConfig(num_trees=4, num_layers=4, num_candidates=8)
+        vero = Vero(cfg, ClusterConfig(num_workers=3))
+        result, transform = vero.fit_from_raw(train, valid=valid)
+        assert len(result.ensemble) == 4
+        assert result.evals[-1].metric_value > 0.7
+        assert transform.report.compression_ratio >= 4.0

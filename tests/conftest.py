@@ -1,0 +1,54 @@
+"""Shared fixtures: small deterministic datasets and configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, TrainConfig, make_classification
+from repro.data.dataset import bin_dataset
+
+
+@pytest.fixture(scope="session")
+def small_binary():
+    """Small dense-ish binary dataset."""
+    return make_classification(1200, 25, num_classes=2, density=0.5,
+                               seed=11, name="small-binary")
+
+
+@pytest.fixture(scope="session")
+def small_sparse():
+    """Sparse higher-dimensional binary dataset (missing values common)."""
+    return make_classification(900, 300, num_classes=2, density=0.05,
+                               seed=12, name="small-sparse")
+
+
+@pytest.fixture(scope="session")
+def small_multiclass():
+    return make_classification(1000, 40, num_classes=4, density=0.4,
+                               seed=13, name="small-multiclass")
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return TrainConfig(num_trees=3, num_layers=4, num_candidates=8)
+
+
+@pytest.fixture(scope="session")
+def cluster4():
+    return ClusterConfig(num_workers=4)
+
+
+@pytest.fixture(scope="session")
+def binned_binary(small_binary, tiny_config):
+    return bin_dataset(small_binary, tiny_config.num_candidates)
+
+
+@pytest.fixture(scope="session")
+def binned_sparse(small_sparse, tiny_config):
+    return bin_dataset(small_sparse, tiny_config.num_candidates)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

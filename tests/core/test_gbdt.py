@@ -1,0 +1,136 @@
+"""Reference trainer tests: learning behaviour and internal consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GBDT, TrainConfig, make_classification, make_regression
+from repro.core.gbdt import grow_tree
+from repro.core.loss import make_loss
+from repro.data.dataset import bin_dataset
+
+
+class TestBinaryTraining:
+    def test_train_loss_decreases(self, small_binary):
+        cfg = TrainConfig(num_trees=8, num_layers=4, num_candidates=8)
+        result = GBDT(cfg).fit(*small_binary.split(0.8, seed=3))
+        losses = [e.train_loss for e in result.evals]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_validation_auc_improves(self, small_binary):
+        train, valid = small_binary.split(0.75, seed=4)
+        cfg = TrainConfig(num_trees=10, num_layers=5, num_candidates=16)
+        result = GBDT(cfg).fit(train, valid)
+        assert result.evals[-1].metric_value > result.evals[0].metric_value
+        assert result.evals[-1].metric_value > 0.8
+
+    def test_predictions_are_probabilities(self, small_binary):
+        cfg = TrainConfig(num_trees=3, num_layers=4)
+        gbdt = GBDT(cfg)
+        result = gbdt.fit(small_binary)
+        preds = gbdt.predict(result.ensemble, small_binary)
+        assert preds.shape == (small_binary.num_instances,)
+        assert np.all((preds > 0) & (preds < 1))
+
+    def test_deterministic(self, small_binary):
+        cfg = TrainConfig(num_trees=3, num_layers=4)
+        r1 = GBDT(cfg).fit(small_binary)
+        r2 = GBDT(cfg).fit(small_binary)
+        p1 = GBDT(cfg).predict(r1.ensemble, small_binary)
+        p2 = GBDT(cfg).predict(r2.ensemble, small_binary)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_overfits_small_data(self):
+        """Enough deep trees should drive training loss near zero."""
+        ds = make_classification(200, 10, density=1.0, noise=0.0, seed=5)
+        cfg = TrainConfig(num_trees=30, num_layers=6, num_candidates=32,
+                          learning_rate=0.5, reg_lambda=0.1)
+        result = GBDT(cfg).fit(ds, ds)
+        assert result.evals[-1].train_loss < 0.1
+        assert result.evals[-1].metric_value > 0.99
+
+
+class TestMulticlassTraining:
+    def test_accuracy_improves(self, small_multiclass):
+        train, valid = small_multiclass.split(0.75, seed=6)
+        cfg = TrainConfig(num_trees=8, num_layers=4,
+                          objective="multiclass", num_classes=4)
+        result = GBDT(cfg).fit(train, valid)
+        assert result.evals[-1].metric_name == "accuracy"
+        assert result.evals[-1].metric_value > \
+            result.evals[0].metric_value - 0.02
+        assert result.evals[-1].metric_value > 0.5
+
+    def test_leaf_vectors_have_class_dim(self, small_multiclass):
+        cfg = TrainConfig(num_trees=1, num_layers=3,
+                          objective="multiclass", num_classes=4)
+        result = GBDT(cfg).fit(small_multiclass)
+        tree = result.ensemble.trees[0]
+        for node in tree.nodes.values():
+            if node.is_leaf:
+                assert node.weight.shape == (4,)
+
+
+class TestRegressionTraining:
+    def test_rmse_decreases(self):
+        ds = make_regression(800, 20, density=0.8, noise=0.05, seed=8)
+        train, valid = ds.split(0.8, seed=9)
+        cfg = TrainConfig(num_trees=12, num_layers=4,
+                          objective="regression", learning_rate=0.3)
+        result = GBDT(cfg).fit(train, valid)
+        assert result.evals[-1].metric_name == "rmse"
+        assert result.evals[-1].metric_value < result.evals[0].metric_value
+
+
+class TestGrowTree:
+    def test_training_leaves_match_prediction_path(self, small_binary):
+        """Leaf assignment via the index must equal raw-feature routing."""
+        cfg = TrainConfig(num_trees=1, num_layers=5)
+        binned = bin_dataset(small_binary, cfg.num_candidates)
+        loss = make_loss("binary")
+        scores = loss.init_scores(small_binary.num_instances)
+        grad, hess = loss.gradients(small_binary.labels, scores)
+        tree, leaf_of_instance = grow_tree(cfg, binned, grad, hess)
+        routed = tree.assign_leaves(small_binary.csc())
+        np.testing.assert_array_equal(leaf_of_instance, routed)
+
+    def test_respects_min_node_instances(self, small_binary):
+        """Nodes below 2x the minimum are never split (they become
+        leaves), so a prohibitive minimum yields a single-leaf tree and a
+        moderate one strictly reduces the number of splits."""
+        binned = bin_dataset(small_binary, 8)
+        loss = make_loss("binary")
+        grad, hess = loss.gradients(
+            small_binary.labels,
+            loss.init_scores(small_binary.num_instances),
+        )
+        cfg_blocked = TrainConfig(num_trees=1, num_layers=7,
+                                  num_candidates=8,
+                                  min_node_instances=binned.num_instances)
+        tree, _ = grow_tree(cfg_blocked, binned, grad, hess)
+        assert tree.num_splits == 0
+        cfg_free = TrainConfig(num_trees=1, num_layers=7, num_candidates=8)
+        cfg_limited = TrainConfig(num_trees=1, num_layers=7,
+                                  num_candidates=8,
+                                  min_node_instances=150)
+        free, _ = grow_tree(cfg_free, binned, grad, hess)
+        limited, _ = grow_tree(cfg_limited, binned, grad, hess)
+        assert limited.num_splits < free.num_splits
+
+    def test_max_depth_respected(self, small_binary):
+        cfg = TrainConfig(num_trees=1, num_layers=3)
+        binned = bin_dataset(small_binary, cfg.num_candidates)
+        loss = make_loss("binary")
+        grad, hess = loss.gradients(
+            small_binary.labels,
+            loss.init_scores(small_binary.num_instances),
+        )
+        tree, _ = grow_tree(cfg, binned, grad, hess)
+        assert max(tree.nodes) <= 6  # layers 0..2 -> ids 0..6
+
+    def test_sparse_dataset_trains(self, small_sparse):
+        train, valid = small_sparse.split(0.8, seed=10)
+        cfg = TrainConfig(num_trees=20, num_layers=5, learning_rate=0.3)
+        result = GBDT(cfg).fit(train, valid)
+        assert result.evals[-1].metric_value > 0.6

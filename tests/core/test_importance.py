@@ -1,0 +1,82 @@
+"""Feature importance and model introspection tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GBDT, TrainConfig, make_classification
+from repro.core.importance import (dump_ensemble, dump_tree,
+                                   feature_importance, top_features)
+
+
+@pytest.fixture(scope="module")
+def informative_model():
+    """Dataset where only the first three features carry signal."""
+    rng = np.random.default_rng(7)
+    from repro.data.matrix import CSRMatrix
+    from repro.data.dataset import Dataset
+
+    dense = rng.standard_normal((1500, 20))
+    scores = dense[:, 0] * 3 + dense[:, 1] * 2 - dense[:, 2] * 2.5
+    labels = (scores > 0).astype(np.int64)
+    ds = Dataset(CSRMatrix.from_dense(dense), labels)
+    cfg = TrainConfig(num_trees=6, num_layers=4, num_candidates=16,
+                      learning_rate=0.5)
+    result = GBDT(cfg).fit(ds)
+    return result.ensemble, ds
+
+
+class TestImportance:
+    def test_finds_the_informative_features(self, informative_model):
+        ensemble, ds = informative_model
+        top = top_features(ensemble, ds.num_features, k=3, kind="gain")
+        assert set(top) == {0, 1, 2}
+
+    def test_split_counts_sum_to_splits(self, informative_model):
+        ensemble, ds = informative_model
+        counts = feature_importance(ensemble, ds.num_features,
+                                    kind="split")
+        total_splits = sum(t.num_splits for t in ensemble.trees)
+        assert counts.sum() == total_splits
+
+    def test_gain_nonnegative(self, informative_model):
+        ensemble, ds = informative_model
+        gains = feature_importance(ensemble, ds.num_features, kind="gain")
+        assert np.all(gains >= 0)
+
+    def test_unknown_kind(self, informative_model):
+        ensemble, ds = informative_model
+        with pytest.raises(ValueError, match="kind"):
+            feature_importance(ensemble, ds.num_features, kind="cover")
+
+    def test_feature_out_of_range_detected(self, informative_model):
+        ensemble, _ = informative_model
+        with pytest.raises(ValueError, match="outside"):
+            feature_importance(ensemble, 1)
+
+    def test_top_features_excludes_unused(self, informative_model):
+        ensemble, ds = informative_model
+        top = top_features(ensemble, ds.num_features, k=100)
+        gains = feature_importance(ensemble, ds.num_features)
+        assert all(gains[f] > 0 for f in top)
+
+
+class TestDump:
+    def test_dump_tree_mentions_splits_and_leaves(self, informative_model):
+        ensemble, _ = informative_model
+        text = dump_tree(ensemble.trees[0])
+        assert "node 0:" in text
+        assert "leaf" in text
+        assert "gain" in text
+
+    def test_feature_names(self, informative_model):
+        ensemble, _ = informative_model
+        text = dump_tree(ensemble.trees[0], {0: "age", 1: "salary",
+                                             2: "score"})
+        assert any(name in text for name in ("age", "salary", "score"))
+
+    def test_dump_ensemble_has_headers(self, informative_model):
+        ensemble, _ = informative_model
+        text = dump_ensemble(ensemble)
+        assert text.count("=== tree") == len(ensemble)

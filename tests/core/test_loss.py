@@ -1,0 +1,138 @@
+"""Loss tests: gradients checked against finite differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loss import (LogisticLoss, SoftmaxLoss, SquareLoss,
+                             make_loss, sigmoid, softmax)
+
+
+def finite_diff_grad(loss, labels, scores, eps=1e-6):
+    """Numerical gradient of the mean loss, rescaled per instance."""
+    num = np.zeros_like(scores)
+    for i in range(scores.shape[0]):
+        for c in range(scores.shape[1]):
+            plus = scores.copy()
+            plus[i, c] += eps
+            minus = scores.copy()
+            minus[i, c] -= eps
+            num[i, c] = (loss.loss(labels, plus)
+                         - loss.loss(labels, minus)) / (2 * eps)
+    return num * scores.shape[0]  # loss() averages over instances
+
+
+class TestFactory:
+    def test_known_objectives(self):
+        assert isinstance(make_loss("binary"), LogisticLoss)
+        assert isinstance(make_loss("multiclass", 4), SoftmaxLoss)
+        assert isinstance(make_loss("regression"), SquareLoss)
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            make_loss("hinge")
+
+    def test_softmax_needs_classes(self):
+        with pytest.raises(ValueError):
+            SoftmaxLoss(2)
+
+
+class TestHelpers:
+    def test_sigmoid_range_and_stability(self):
+        x = np.array([-1e6, -10.0, 0.0, 10.0, 1e6])
+        p = sigmoid(x)
+        assert np.all((p >= 0) & (p <= 1))
+        assert p[2] == 0.5
+        assert np.isfinite(p).all()
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        scores = rng.standard_normal((50, 7)) * 30
+        p = softmax(scores)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+        assert np.isfinite(p).all()
+
+
+class TestLogisticLoss:
+    def test_gradient_matches_finite_difference(self, rng):
+        loss = LogisticLoss()
+        labels = rng.integers(0, 2, size=12)
+        scores = rng.standard_normal((12, 1))
+        grad, hess = loss.gradients(labels, scores)
+        np.testing.assert_allclose(
+            grad, finite_diff_grad(loss, labels, scores), atol=1e-5
+        )
+        assert np.all(hess > 0)
+
+    def test_zero_scores_gradient(self):
+        loss = LogisticLoss()
+        labels = np.array([0, 1])
+        grad, hess = loss.gradients(labels, np.zeros((2, 1)))
+        np.testing.assert_allclose(grad.ravel(), [0.5, -0.5])
+        np.testing.assert_allclose(hess.ravel(), [0.25, 0.25])
+
+    def test_predict_is_probability(self, rng):
+        loss = LogisticLoss()
+        p = loss.predict(rng.standard_normal((20, 1)) * 5)
+        assert p.shape == (20,)
+        assert np.all((p > 0) & (p < 1))
+
+    def test_perfect_predictions_low_loss(self):
+        loss = LogisticLoss()
+        labels = np.array([0, 1, 1])
+        scores = np.array([[-20.0], [20.0], [20.0]])
+        assert loss.loss(labels, scores) < 1e-6
+
+
+class TestSoftmaxLoss:
+    def test_gradient_matches_finite_difference(self, rng):
+        loss = SoftmaxLoss(4)
+        labels = rng.integers(0, 4, size=8)
+        scores = rng.standard_normal((8, 4))
+        grad, _ = loss.gradients(labels, scores)
+        np.testing.assert_allclose(
+            grad, finite_diff_grad(loss, labels, scores), atol=1e-5
+        )
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        loss = SoftmaxLoss(5)
+        labels = rng.integers(0, 5, size=30)
+        grad, _ = loss.gradients(labels, rng.standard_normal((30, 5)))
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_predict_shape(self, rng):
+        loss = SoftmaxLoss(3)
+        p = loss.predict(rng.standard_normal((10, 3)))
+        assert p.shape == (10, 3)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+
+
+class TestSquareLoss:
+    def test_gradient_is_residual(self, rng):
+        loss = SquareLoss()
+        labels = rng.standard_normal(15)
+        scores = rng.standard_normal((15, 1))
+        grad, hess = loss.gradients(labels, scores)
+        np.testing.assert_allclose(grad, scores - labels.reshape(-1, 1))
+        np.testing.assert_allclose(hess, 1.0)
+
+    def test_loss_value(self):
+        loss = SquareLoss()
+        assert loss.loss(np.array([1.0, 2.0]),
+                         np.array([[1.0], [4.0]])) == pytest.approx(2.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), classes=st.integers(3, 6))
+def test_property_softmax_finite_diff(seed, classes):
+    rng = np.random.default_rng(seed)
+    loss = SoftmaxLoss(classes)
+    labels = rng.integers(0, classes, size=5)
+    scores = rng.standard_normal((5, classes)) * 2
+    grad, hess = loss.gradients(labels, scores)
+    np.testing.assert_allclose(
+        grad, finite_diff_grad(loss, labels, scores), atol=1e-4
+    )
+    assert np.all(hess > 0)

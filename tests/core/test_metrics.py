@@ -1,0 +1,110 @@
+"""Metric tests against closed-form small cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (accuracy, auc, logloss,
+                                multiclass_accuracy, rmse)
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc(labels, scores) == 1.0
+
+    def test_inverted_scores(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc(labels, scores) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        labels = rng.integers(0, 2, size=5000)
+        scores = rng.random(5000)
+        assert abs(auc(labels, scores) - 0.5) < 0.05
+
+    def test_all_ties_is_half(self):
+        labels = np.array([0, 1, 0, 1])
+        assert auc(labels, np.full(4, 0.7)) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        # 1 positive ranked above 1 of 2 negatives: AUC = 0.5
+        labels = np.array([1, 0, 0])
+        scores = np.array([0.5, 0.3, 0.7])
+        assert auc(labels, scores) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError, match="both classes"):
+            auc(np.array([1, 1]), np.array([0.1, 0.2]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            auc(np.array([0, 1]), np.array([0.1]))
+
+    def test_matches_pair_counting(self, rng):
+        labels = rng.integers(0, 2, size=200)
+        if labels.sum() in (0, 200):
+            labels[0] = 1 - labels[0]
+        scores = rng.standard_normal(200)
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (pos.size * neg.size)
+        assert auc(labels, scores) == pytest.approx(expected)
+
+
+class TestAccuracy:
+    def test_exact(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == \
+            pytest.approx(2 / 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_multiclass_argmax(self):
+        probs = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert multiclass_accuracy(np.array([1, 0]), probs) == 1.0
+
+    def test_multiclass_rejects_1d(self):
+        with pytest.raises(ValueError):
+            multiclass_accuracy(np.array([0]), np.array([0.5]))
+
+
+class TestRMSE:
+    def test_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == \
+            pytest.approx(np.sqrt(12.5))
+
+    def test_zero_for_exact(self, rng):
+        y = rng.standard_normal(50)
+        assert rmse(y, y) == 0.0
+
+
+class TestLogLoss:
+    def test_known_value(self):
+        labels = np.array([1, 0])
+        probs = np.array([0.8, 0.4])
+        expected = -(np.log(0.8) + np.log(0.6)) / 2
+        assert logloss(labels, probs) == pytest.approx(expected)
+
+    def test_clipping_avoids_inf(self):
+        assert np.isfinite(logloss(np.array([1]), np.array([0.0])))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_property_auc_invariant_to_monotone_transform(seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=100)
+    if labels.sum() in (0, 100):
+        labels[0] = 1 - labels[0]
+    scores = rng.standard_normal(100)
+    base = auc(labels, scores)
+    assert auc(labels, 3 * scores + 7) == pytest.approx(base)
+    assert auc(labels, np.tanh(scores)) == pytest.approx(base)

@@ -1,0 +1,111 @@
+"""Placement computation tests (node splitting, Section 2.2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.indexing import NodeToInstanceIndex
+from repro.core.placement import (layer_placements_colstore,
+                                  layer_placements_rowstore,
+                                  rowstore_search_keys)
+from repro.core.split import SplitInfo
+from repro.data.matrix import CSRMatrix
+
+
+@pytest.fixture
+def binned_shard(rng):
+    """Small binned CSR with known dense view (-1 = missing)."""
+    dense = np.full((30, 5), -1, dtype=np.int64)
+    mask = rng.random((30, 5)) < 0.6
+    dense[mask] = rng.integers(0, 6, size=mask.sum())
+    rows = []
+    for i in range(30):
+        cols = np.flatnonzero(dense[i] >= 0)
+        rows.append([(int(c), int(dense[i, c])) for c in cols])
+    return CSRMatrix.from_rows(rows, 5, dtype=np.int32), dense
+
+
+def expected_go_left(dense, rows, feature, bin_id, default_left):
+    out = []
+    for r in rows:
+        value = dense[r, feature]
+        out.append(default_left if value < 0 else value <= bin_id)
+    return np.array(out)
+
+
+class TestSearchKeys:
+    def test_keys_sorted_and_unique(self, binned_shard):
+        shard, _ = binned_shard
+        keys = rowstore_search_keys(shard)
+        assert np.all(np.diff(keys) > 0)
+        assert keys.size == shard.nnz
+
+    def test_key_lookup_roundtrip(self, binned_shard):
+        shard, dense = binned_shard
+        keys = rowstore_search_keys(shard)
+        width = shard.num_cols + 1
+        for row in range(30):
+            for feature in range(5):
+                key = row * width + feature
+                pos = np.searchsorted(keys, key)
+                present = pos < keys.size and keys[pos] == key
+                assert present == (dense[row, feature] >= 0)
+
+
+class TestRowstorePlacements:
+    @pytest.mark.parametrize("default_left", [False, True])
+    def test_matches_dense_semantics(self, binned_shard, default_left):
+        shard, dense = binned_shard
+        index = NodeToInstanceIndex(30)
+        split = SplitInfo(feature=2, bin=3, default_left=default_left,
+                          gain=1.0)
+        placements = layer_placements_rowstore(shard, index, {0: split})
+        np.testing.assert_array_equal(
+            placements[0],
+            expected_go_left(dense, range(30), 2, 3, default_left),
+        )
+
+    def test_multiple_nodes_one_pass(self, binned_shard, rng):
+        shard, dense = binned_shard
+        index = NodeToInstanceIndex(30)
+        index.split_node(0, rng.random(30) < 0.5, 1, 2)
+        splits = {
+            1: SplitInfo(0, 2, False, 1.0),
+            2: SplitInfo(4, 1, True, 1.0),
+        }
+        placements = layer_placements_rowstore(shard, index, splits)
+        for node, split in splits.items():
+            np.testing.assert_array_equal(
+                placements[node],
+                expected_go_left(dense, index.rows_of(node),
+                                 split.feature, split.bin,
+                                 split.default_left),
+            )
+
+    def test_precomputed_keys_equal_on_the_fly(self, binned_shard):
+        shard, _ = binned_shard
+        index = NodeToInstanceIndex(30)
+        split = {0: SplitInfo(1, 2, False, 1.0)}
+        a = layer_placements_rowstore(shard, index, split)
+        b = layer_placements_rowstore(
+            shard, index, split, search_keys=rowstore_search_keys(shard)
+        )
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_foreign_features_skipped(self, binned_shard):
+        """Vertical partitioning: splits on features outside the shard
+        produce no placement (another worker owns them)."""
+        shard, _ = binned_shard
+        index = NodeToInstanceIndex(30)
+        split = {0: SplitInfo(feature=100, bin=1, default_left=False,
+                              gain=1.0)}
+        assert layer_placements_rowstore(shard, index, split) == {}
+
+    def test_colstore_agrees_with_rowstore(self, binned_shard):
+        shard, dense = binned_shard
+        index = NodeToInstanceIndex(30)
+        split = {0: SplitInfo(3, 2, True, 1.0)}
+        row_p = layer_placements_rowstore(shard, index, split)
+        col_p = layer_placements_colstore(shard.to_csc(), index, split)
+        np.testing.assert_array_equal(row_p[0], col_p[0])

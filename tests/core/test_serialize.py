@@ -1,0 +1,83 @@
+"""Model serialization tests."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import GBDT, TrainConfig
+from repro.core.serialize import (FORMAT_VERSION, ensemble_from_dict,
+                                  ensemble_to_dict, load_ensemble,
+                                  save_ensemble)
+
+
+@pytest.fixture(scope="module")
+def trained(small_binary):
+    cfg = TrainConfig(num_trees=4, num_layers=4, num_candidates=8)
+    gbdt = GBDT(cfg)
+    result = gbdt.fit(small_binary)
+    return gbdt, result.ensemble, small_binary
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_predictions(self, trained):
+        gbdt, ensemble, dataset = trained
+        back = ensemble_from_dict(ensemble_to_dict(ensemble))
+        np.testing.assert_array_equal(
+            gbdt.predict(ensemble, dataset), gbdt.predict(back, dataset)
+        )
+
+    def test_file_round_trip(self, trained, tmp_path):
+        gbdt, ensemble, dataset = trained
+        path = tmp_path / "model.json"
+        save_ensemble(ensemble, path)
+        back = load_ensemble(path)
+        assert len(back) == len(ensemble)
+        np.testing.assert_array_equal(
+            gbdt.predict(ensemble, dataset), gbdt.predict(back, dataset)
+        )
+
+    def test_multiclass_round_trip(self, small_multiclass, tmp_path):
+        cfg = TrainConfig(num_trees=2, num_layers=3,
+                          objective="multiclass", num_classes=4)
+        gbdt = GBDT(cfg)
+        ensemble = gbdt.fit(small_multiclass).ensemble
+        path = tmp_path / "mc.json"
+        save_ensemble(ensemble, path, objective="multiclass",
+                      num_classes=4)
+        back = load_ensemble(path)
+        assert back.gradient_dim == 4
+        np.testing.assert_array_equal(
+            gbdt.predict(ensemble, small_multiclass),
+            gbdt.predict(back, small_multiclass),
+        )
+
+    def test_payload_is_json_serializable(self, trained):
+        _, ensemble, _ = trained
+        payload = ensemble_to_dict(ensemble)
+        text = json.dumps(payload)
+        assert ensemble_from_dict(json.loads(text)).trees
+
+
+class TestValidation:
+    def test_format_version_checked(self, trained):
+        _, ensemble, _ = trained
+        payload = ensemble_to_dict(ensemble)
+        payload["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="format version"):
+            ensemble_from_dict(payload)
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(ValueError, match="not a valid model"):
+            load_ensemble(path)
+
+    def test_metadata_preserved(self, trained):
+        _, ensemble, _ = trained
+        payload = ensemble_to_dict(ensemble, objective="binary",
+                                   num_classes=2)
+        assert payload["objective"] == "binary"
+        assert payload["learning_rate"] == ensemble.learning_rate

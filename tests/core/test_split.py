@@ -1,0 +1,194 @@
+"""Split finding tests: vectorized search against brute-force enumeration,
+default-direction handling, and the determinism contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import Histogram
+from repro.core.split import (SplitInfo, find_best_split, leaf_weight,
+                              split_gain_of)
+
+
+def random_histogram(rng, num_features=4, num_bins=5, gradient_dim=1,
+                     missing=True):
+    """Histogram with optional extra 'missing' gradient mass."""
+    hist = Histogram(num_features, num_bins, gradient_dim)
+    hist.grad[:] = rng.standard_normal(hist.grad.shape)
+    hist.hess[:] = rng.random(hist.hess.shape) + 0.01
+    grad_total = hist.grad_view().sum(axis=(0, 1)) / num_features
+    hess_total = hist.hess_view().sum(axis=(0, 1)) / num_features
+    # per-feature column sums must each equal the node totals; rescale so
+    # the histogram is self-consistent (each feature summarizes the node)
+    gv, hv = hist.grad_view(), hist.hess_view()
+    for f in range(num_features):
+        gv[f] += (grad_total - gv[f].sum(axis=0)) / num_bins
+        hv[f] += (hess_total - hv[f].sum(axis=0)) / num_bins + 0.01
+    grad_total = gv[0].sum(axis=0)
+    hess_total = hv[0].sum(axis=0)
+    if missing:
+        grad_total = grad_total + rng.standard_normal(gradient_dim)
+        hess_total = hess_total + rng.random(gradient_dim) + 0.05
+    return hist, grad_total, hess_total
+
+
+def brute_force_best(hist, grad_total, hess_total, lam, gamma, bins):
+    best = None
+    for f in range(hist.num_features):
+        for b in range(int(bins[f]) - 1):
+            for default_left in (False, True):
+                gain = split_gain_of(hist, grad_total, hess_total, lam,
+                                     gamma, f, b, default_left)
+                # skip empty children like the vectorized search
+                gl = hist.hess_view()[f, : b + 1].sum(axis=0)
+                if default_left:
+                    gl = gl + (hess_total
+                               - hist.hess_view()[f].sum(axis=0))
+                gr = hess_total - gl
+                if gl.sum() <= 0 or gr.sum() <= 0:
+                    continue
+                cand = SplitInfo(f, b, default_left, gain)
+                if gain > 0 and cand.better_than(best):
+                    best = cand
+    return best
+
+
+class TestLeafWeight:
+    def test_formula(self):
+        w = leaf_weight(np.array([2.0]), np.array([3.0]), 1.0)
+        assert w == pytest.approx(-0.5)
+
+    def test_vector(self):
+        w = leaf_weight(np.array([1.0, -2.0]), np.array([1.0, 3.0]), 1.0)
+        np.testing.assert_allclose(w, [-0.5, 0.5])
+
+
+class TestFindBestSplit:
+    def test_matches_brute_force(self, rng):
+        hist, g, h = random_histogram(rng)
+        bins = np.full(4, 5)
+        split = find_best_split(hist, g, h, 1.0, 0.0, bins)
+        ref = brute_force_best(hist, g, h, 1.0, 0.0, bins)
+        assert (split is None) == (ref is None)
+        if split is not None:
+            assert (split.feature, split.bin, split.default_left) == \
+                (ref.feature, ref.bin, ref.default_left)
+            assert split.gain == pytest.approx(ref.gain)
+
+    def test_feature_offset(self, rng):
+        hist, g, h = random_histogram(rng)
+        bins = np.full(4, 5)
+        base = find_best_split(hist, g, h, 1.0, 0.0, bins)
+        shifted = find_best_split(hist, g, h, 1.0, 0.0, bins,
+                                  feature_offset=100)
+        assert shifted.feature == base.feature + 100
+
+    def test_respects_bins_per_feature(self, rng):
+        hist, g, h = random_histogram(rng)
+        # features with a single bin can never split
+        bins = np.array([1, 1, 1, 1])
+        assert find_best_split(hist, g, h, 1.0, 0.0, bins) is None
+
+    def test_gamma_subtracts_from_gain(self, rng):
+        hist, g, h = random_histogram(rng)
+        bins = np.full(4, 5)
+        s0 = find_best_split(hist, g, h, 1.0, 0.0, bins)
+        s1 = find_best_split(hist, g, h, 1.0, 0.1, bins)
+        if s0 is not None and s1 is not None:
+            assert s1.gain == pytest.approx(s0.gain - 0.1)
+
+    def test_gain_decreases_with_lambda(self, rng):
+        hist, g, h = random_histogram(rng)
+        bins = np.full(4, 5)
+        gains = []
+        for lam in (0.1, 1.0, 10.0):
+            s = find_best_split(hist, g, h, lam, 0.0, bins)
+            gains.append(s.gain if s is not None else 0.0)
+        assert gains[0] >= gains[1] >= gains[2]
+
+    def test_huge_gamma_gives_no_split(self, rng):
+        hist, g, h = random_histogram(rng)
+        bins = np.full(4, 5)
+        assert find_best_split(hist, g, h, 1.0, 1e9, bins) is None
+
+    def test_pure_node_has_no_split(self):
+        # all gradient mass in one bin of each feature: any split gives
+        # an empty child on one side or no gain
+        hist = Histogram(2, 3, 1)
+        hist.grad_view()[:, 0, 0] = -5.0
+        hist.hess_view()[:, 0, 0] = 2.0
+        g = np.array([-5.0])
+        h = np.array([2.0])
+        assert find_best_split(hist, g, h, 1.0, 0.0,
+                               np.array([3, 3])) is None
+
+    def test_missing_values_can_matter(self):
+        """A node where the winning arrangement routes missing right."""
+        hist = Histogram(1, 2, 1)
+        hist.grad_view()[0, 0, 0] = -4.0   # bin 0: negative gradients
+        hist.hess_view()[0, 0, 0] = 2.0
+        hist.grad_view()[0, 1, 0] = 1.0
+        hist.hess_view()[0, 1, 0] = 1.0
+        # node totals include missing mass aligned with bin-1 gradients
+        g = np.array([-4.0 + 1.0 + 3.0])
+        h = np.array([2.0 + 1.0 + 1.5])
+        split = find_best_split(hist, g, h, 1.0, 0.0, np.array([2]))
+        assert split is not None
+        assert not split.default_left
+
+    def test_bins_length_mismatch(self, rng):
+        hist, g, h = random_histogram(rng)
+        with pytest.raises(ValueError):
+            find_best_split(hist, g, h, 1.0, 0.0, np.array([5]))
+
+
+class TestDeterminismContract:
+    def test_sort_key_order(self):
+        a = SplitInfo(2, 1, False, 1.0)
+        b = SplitInfo(1, 0, False, 0.5)
+        assert a.better_than(b)          # higher gain wins
+        c = SplitInfo(1, 3, False, 1.0)
+        assert c.better_than(a)          # tie: lower feature wins
+        d = SplitInfo(1, 2, False, 1.0)
+        assert d.better_than(c)          # tie: lower bin wins
+        e = SplitInfo(1, 2, True, 1.0)
+        assert d.better_than(e)          # tie: default-right wins
+        assert a.better_than(None)
+
+    def test_exact_tie_resolution_in_search(self):
+        """Two identical features: the lower id must be chosen."""
+        hist = Histogram(3, 3, 1)
+        for f in (1, 2):  # feature 0 is empty/useless
+            hist.grad_view()[f, 0, 0] = -3.0
+            hist.hess_view()[f, 0, 0] = 1.0
+            hist.grad_view()[f, 1, 0] = 3.0
+            hist.hess_view()[f, 1, 0] = 1.0
+        g = np.array([0.0])
+        h = np.array([2.0])
+        split = find_best_split(hist, g, h, 1.0, 0.0, np.array([3, 3, 3]))
+        assert split.feature == 1
+        assert split.bin == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    lam=st.floats(0.01, 10.0),
+    gradient_dim=st.integers(1, 3),
+)
+def test_property_matches_brute_force(seed, lam, gradient_dim):
+    rng = np.random.default_rng(seed)
+    hist, g, h = random_histogram(rng, gradient_dim=gradient_dim)
+    bins = np.full(4, 5)
+    split = find_best_split(hist, g, h, lam, 0.0, bins)
+    ref = brute_force_best(hist, g, h, lam, 0.0, bins)
+    if ref is None:
+        assert split is None
+    else:
+        assert split is not None
+        assert split.gain == pytest.approx(ref.gain)
+        assert (split.feature, split.bin, split.default_left) == \
+            (ref.feature, ref.bin, ref.default_left)

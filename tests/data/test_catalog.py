@@ -1,0 +1,65 @@
+"""Catalog surrogate tests (Table 2 / Section 6 shapes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import CATALOG, load, names
+
+
+class TestCatalog:
+    def test_all_paper_datasets_present(self):
+        expected = {
+            "susy", "higgs", "criteo", "epsilon", "rcv1", "synthesis",
+            "rcv1-multi", "synthesis-multi", "gender", "age", "taste",
+        }
+        assert set(CATALOG) == expected
+
+    def test_kinds_partition_table2(self):
+        assert set(names("LD")) == {"susy", "higgs", "criteo", "epsilon"}
+        assert set(names("HS")) == {"rcv1", "synthesis"}
+        assert set(names("MC")) == {"rcv1-multi", "synthesis-multi"}
+        assert set(names("IND")) == {"gender", "age", "taste"}
+        assert len(names()) == 11
+
+    def test_relative_ordering_matches_paper(self):
+        """The regime relations the paper's conclusions rest on."""
+        c = CATALOG
+        # LD datasets: many instances, few features
+        for name in names("LD"):
+            assert c[name].num_instances > 10 * c[name].num_features \
+                or name == "epsilon"
+        # HS datasets: high dimensional and sparse
+        for name in names("HS"):
+            assert c[name].num_features >= 4000
+            assert c[name].density < 0.05
+        # MC datasets: more than two classes
+        for name in names("MC"):
+            assert c[name].num_classes > 2
+
+    @pytest.mark.parametrize("name", ["susy", "rcv1", "rcv1-multi",
+                                      "taste"])
+    def test_load_produces_declared_shape(self, name):
+        entry = CATALOG[name]
+        ds = load(name, scale=0.2)
+        assert ds.num_features == entry.num_features
+        assert ds.num_instances == max(
+            int(round(entry.num_instances * 0.2)), 64
+        )
+        assert ds.num_classes == entry.num_classes
+        labels = np.unique(ds.labels)
+        assert labels.size >= 2
+
+    def test_load_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load("mnist")
+
+    def test_load_bad_scale(self):
+        with pytest.raises(ValueError):
+            load("susy", scale=0.0)
+
+    def test_deterministic(self):
+        a = load("higgs", scale=0.05)
+        b = load("higgs", scale=0.05)
+        np.testing.assert_array_equal(a.labels, b.labels)

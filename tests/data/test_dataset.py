@@ -1,0 +1,173 @@
+"""Dataset and binning tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import BinnedDataset, Dataset, apply_cuts, \
+    bin_dataset
+from repro.data.matrix import CSRMatrix
+from repro.data.synthetic import make_classification
+
+
+class TestDatasetValidation:
+    def test_label_length_checked(self):
+        features = CSRMatrix.from_dense(np.eye(3))
+        with pytest.raises(ValueError, match="labels"):
+            Dataset(features, np.array([0, 1]))
+
+    def test_binary_labels_checked(self):
+        features = CSRMatrix.from_dense(np.eye(3))
+        with pytest.raises(ValueError, match=r"\{0, 1\}"):
+            Dataset(features, np.array([0, 1, 2]))
+
+    def test_multiclass_range_checked(self):
+        features = CSRMatrix.from_dense(np.eye(3))
+        with pytest.raises(ValueError, match="lie in"):
+            Dataset(features, np.array([0, 1, 5]), task="multiclass",
+                    num_classes=3)
+
+    def test_unknown_task(self):
+        features = CSRMatrix.from_dense(np.eye(2))
+        with pytest.raises(ValueError, match="task"):
+            Dataset(features, np.array([0, 1]), task="ranking")
+
+    def test_properties(self, small_binary):
+        assert small_binary.num_instances == 1200
+        assert small_binary.num_features == 25
+        assert 0.3 < small_binary.density <= 0.5
+
+
+class TestSplit:
+    def test_partition_is_exact(self, small_binary):
+        train, valid = small_binary.split(0.8, seed=1)
+        assert train.num_instances + valid.num_instances == \
+            small_binary.num_instances
+        assert train.num_features == small_binary.num_features
+
+    def test_rejects_bad_fraction(self, small_binary):
+        with pytest.raises(ValueError):
+            small_binary.split(1.0)
+
+    def test_seed_controls_split(self, small_binary):
+        a1, _ = small_binary.split(0.8, seed=1)
+        a2, _ = small_binary.split(0.8, seed=1)
+        b, _ = small_binary.split(0.8, seed=2)
+        np.testing.assert_array_equal(a1.labels, a2.labels)
+        assert not np.array_equal(a1.labels, b.labels)
+
+
+class TestApplyCuts:
+    def test_matches_searchsorted(self, rng):
+        dense = rng.standard_normal((50, 4))
+        csr = CSRMatrix.from_dense(dense)
+        cuts = [np.sort(rng.standard_normal(3)) for _ in range(4)]
+        binned = apply_cuts(csr, cuts)
+        for i, cols, vals in csr.iter_rows():
+            bcols, bvals = binned.row(i)
+            np.testing.assert_array_equal(cols, bcols)
+            for c, v, b in zip(cols, vals, bvals):
+                assert b == np.searchsorted(cuts[c], v, side="left")
+
+    def test_no_cuts_gives_zero_bins(self, rng):
+        csr = CSRMatrix.from_dense(rng.standard_normal((5, 2)))
+        binned = apply_cuts(csr, [np.empty(0), np.empty(0)])
+        assert np.all(binned.values == 0)
+
+    def test_wrong_cut_count(self, rng):
+        csr = CSRMatrix.from_dense(rng.standard_normal((5, 2)))
+        with pytest.raises(ValueError):
+            apply_cuts(csr, [np.empty(0)])
+
+
+class TestBinDataset:
+    def test_bins_in_range(self, small_binary):
+        binned = bin_dataset(small_binary, 16)
+        assert binned.binned.values.max() < 16
+        assert binned.binned.values.min() >= 0
+        assert binned.bins_per_feature.max() <= 16
+
+    def test_preserves_sparsity_pattern(self, small_sparse):
+        binned = bin_dataset(small_sparse, 8)
+        np.testing.assert_array_equal(binned.binned.indptr,
+                                      small_sparse.features.indptr)
+        np.testing.assert_array_equal(binned.binned.indices,
+                                      small_sparse.features.indices)
+
+    def test_threshold_of_round_trip(self, small_binary):
+        """Splitting binned data at bin b == thresholding raw at cut b."""
+        binned = bin_dataset(small_binary, 8)
+        csc_raw = small_binary.csc()
+        csc_bin = binned.csc()
+        for f in (0, 7, 19):
+            cuts = binned.cuts[f]
+            for b in range(cuts.size):
+                threshold = binned.threshold_of(f, b)
+                rows_r, vals_r = csc_raw.col(f)
+                rows_b, vals_b = csc_bin.col(f)
+                np.testing.assert_array_equal(rows_r, rows_b)
+                np.testing.assert_array_equal(
+                    vals_r <= threshold, vals_b <= b
+                )
+
+    def test_threshold_of_invalid_bin(self, binned_binary):
+        with pytest.raises(ValueError):
+            binned_binary.threshold_of(0, 99)
+
+    def test_sketch_binning_close_to_exact(self, small_binary):
+        exact = bin_dataset(small_binary, 16, method="exact")
+        approx = bin_dataset(small_binary, 16, method="sketch")
+        # bin boundaries may shift by a rank or two; the overwhelming
+        # majority of entries must agree
+        agree = np.mean(exact.binned.values == approx.binned.values)
+        assert agree > 0.9
+
+    def test_unknown_method(self, small_binary):
+        with pytest.raises(ValueError):
+            bin_dataset(small_binary, 8, method="magic")
+
+
+class TestBinnedSelection:
+    def test_select_features_renumbers(self, binned_binary):
+        group = np.array([3, 11, 17])
+        shard = binned_binary.select_features(group)
+        assert shard.num_features == 3
+        dense_full = binned_binary.binned.to_dense()
+        # compare nonzero patterns column by column
+        dense_shard = shard.binned.to_dense()
+        for local, fid in enumerate(group):
+            np.testing.assert_array_equal(dense_shard[:, local],
+                                          dense_full[:, fid])
+        assert shard.bins_per_feature.tolist() == [
+            int(binned_binary.bins_per_feature[f]) for f in group
+        ]
+
+    def test_select_instances(self, binned_binary):
+        rows = np.arange(100, 200)
+        shard = binned_binary.select_instances(rows)
+        assert shard.num_instances == 100
+        np.testing.assert_array_equal(shard.labels,
+                                      binned_binary.labels[rows])
+
+    def test_constructor_validates_cuts(self, binned_binary):
+        with pytest.raises(ValueError, match="per feature"):
+            BinnedDataset(binned_binary.binned, binned_binary.cuts[:-1],
+                          binned_binary.labels, binned_binary.num_bins,
+                          "binary", 2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), q=st.integers(2, 24))
+def test_property_binning_respects_quantiles(seed, q):
+    """Each bin of a dense feature holds roughly N/q values."""
+    ds = make_classification(500, 3, density=1.0, seed=seed)
+    binned = bin_dataset(ds, q)
+    for f in range(3):
+        vals = binned.csc().col(f)[1]
+        counts = np.bincount(vals, minlength=q)
+        used = counts[counts > 0]
+        # quantile binning: no bin is more than ~3x the ideal share
+        assert used.max() <= max(3 * 500 / q, 8)

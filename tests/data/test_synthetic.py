@@ -1,0 +1,76 @@
+"""Synthetic generator tests (the Section 5.2 recipe)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_classification, make_regression
+
+
+class TestClassification:
+    def test_shape_and_labels(self):
+        ds = make_classification(300, 40, num_classes=3, density=0.3,
+                                 seed=1)
+        assert ds.num_instances == 300
+        assert ds.num_features == 40
+        assert ds.task == "multiclass"
+        assert set(np.unique(ds.labels)) <= {0, 1, 2}
+
+    def test_binary_task(self):
+        ds = make_classification(100, 10, num_classes=2, seed=2)
+        assert ds.task == "binary"
+        assert ds.num_classes == 2
+
+    def test_density_respected(self):
+        ds = make_classification(400, 100, density=0.1, seed=3)
+        # dedup makes realized density slightly below target
+        assert 0.05 < ds.density <= 0.11
+
+    def test_dense_generation(self):
+        ds = make_classification(50, 20, density=1.0, seed=4)
+        assert ds.features.nnz == 50 * 20
+
+    def test_deterministic_by_seed(self):
+        a = make_classification(100, 10, seed=5)
+        b = make_classification(100, 10, seed=5)
+        assert a.features == b.features
+        np.testing.assert_array_equal(a.labels, b.labels)
+        c = make_classification(100, 10, seed=6)
+        assert not np.array_equal(a.labels, c.labels)
+
+    def test_noise_zero_is_separable_by_linear_model(self):
+        """Labels are argmax of a linear score; with no noise the task is
+        deterministic given features."""
+        a = make_classification(200, 15, noise=0.0, seed=7)
+        b = make_classification(200, 15, noise=0.0, seed=7)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_both_classes_present(self):
+        ds = make_classification(500, 20, seed=8)
+        assert np.unique(ds.labels).size == 2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            make_classification(10, 5, num_classes=1)
+        with pytest.raises(ValueError):
+            make_classification(10, 5, density=0.0)
+        with pytest.raises(ValueError):
+            make_classification(10, 5, informative_ratio=1.5)
+
+    def test_rows_have_unique_sorted_columns(self):
+        ds = make_classification(200, 50, density=0.2, seed=9)
+        for _, cols, _ in ds.features.iter_rows():
+            assert np.all(np.diff(cols) > 0)
+
+
+class TestRegression:
+    def test_labels_are_floats(self):
+        ds = make_regression(100, 10, seed=10)
+        assert ds.task == "regression"
+        assert ds.labels.dtype == np.float64
+
+    def test_noiseless_labels_reproducible_from_weights(self):
+        a = make_regression(100, 10, noise=0.0, seed=11)
+        b = make_regression(100, 10, noise=0.0, seed=11)
+        np.testing.assert_array_equal(a.labels, b.labels)

@@ -1,0 +1,106 @@
+"""KLL sketch tests: rank error, merging, space bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.kll import KLLSketch
+
+from .test_quantile import rank_error
+
+
+class TestKLL:
+    def test_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            KLLSketch(k=4)
+
+    def test_empty_query_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            KLLSketch().query(0.5)
+
+    def test_bad_quantile(self):
+        sketch = KLLSketch()
+        sketch.insert(1.0)
+        with pytest.raises(ValueError):
+            sketch.query(-0.1)
+
+    def test_extremes_exact(self, rng):
+        values = rng.standard_normal(50_000)
+        sketch = KLLSketch(k=128, seed=1)
+        for chunk in np.array_split(values, 17):
+            sketch.update(chunk)
+        assert sketch.query(0.0) == values.min()
+        assert sketch.query(1.0) == values.max()
+
+    def test_rank_error(self, rng):
+        values = rng.standard_normal(100_000)
+        sketch = KLLSketch(k=256, seed=2)
+        sketch.update(values)
+        for q in np.linspace(0.05, 0.95, 10):
+            assert rank_error(values, sketch.query(q), q) <= 0.02
+
+    def test_space_sublinear(self, rng):
+        sketch = KLLSketch(k=128, seed=3)
+        sketch.update(rng.standard_normal(200_000))
+        assert sketch.size < 3_000  # << 200K retained items
+
+    def test_merge_rank_error(self, rng):
+        a_vals = rng.standard_normal(40_000)
+        b_vals = rng.standard_normal(30_000) * 3 + 1
+        a = KLLSketch(k=256, seed=4)
+        b = KLLSketch(k=256, seed=5)
+        a.update(a_vals)
+        b.update(b_vals)
+        merged = a.merge(b)
+        combined = np.concatenate([a_vals, b_vals])
+        assert merged.count == combined.size
+        for q in (0.1, 0.5, 0.9):
+            assert rank_error(combined, merged.query(q), q) <= 0.03
+
+    def test_quantiles_monotone(self, rng):
+        sketch = KLLSketch(k=64, seed=6)
+        sketch.update(rng.standard_normal(10_000))
+        out = sketch.quantiles(np.linspace(0.1, 0.9, 9))
+        assert np.all(np.diff(out) >= 0)
+
+    def test_small_stream_exact(self):
+        sketch = KLLSketch(k=64)
+        sketch.update(np.arange(50.0))
+        # below capacity nothing is compacted: all queries exact
+        assert sketch.query(0.5) in (24.0, 25.0)
+        assert sketch.size == 50
+
+    def test_serialized_nbytes(self, rng):
+        sketch = KLLSketch(k=64)
+        sketch.update(rng.standard_normal(1000))
+        assert sketch.serialized_nbytes == 16 * sketch.size
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(500, 20_000))
+def test_property_kll_median_error(seed, size):
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(size)
+    sketch = KLLSketch(k=200, seed=seed)
+    sketch.update(values)
+    assert rank_error(values, sketch.query(0.5), 0.5) <= 0.05
+
+
+class TestKLLAsProposer:
+    def test_candidate_proposal_via_kll(self, rng):
+        """KLL plugs into the candidate-split proposer (duck-typed)."""
+        from repro.sketch.proposer import (propose_candidates,
+                                           propose_candidates_exact)
+
+        values = rng.standard_normal(30_000)
+        sketch = KLLSketch(k=256, seed=7)
+        sketch.update(values)
+        approx = propose_candidates(sketch, 16)
+        exact = propose_candidates_exact(values, 16)
+        assert approx.size == exact.size
+        ranks_a = np.searchsorted(np.sort(values), approx) / values.size
+        ranks_e = np.searchsorted(np.sort(values), exact) / values.size
+        assert np.max(np.abs(ranks_a - ranks_e)) < 0.03

@@ -1,0 +1,137 @@
+"""Advisor tests: predictions agree with the Section 3 analysis and with
+the simulator's measured outcomes on representative regimes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterConfig, NetworkModel, TrainConfig, \
+    make_classification, make_system
+from repro.data.dataset import bin_dataset
+from repro.systems.advisor import (DEFAULT_SCAN_RATE, QUADRANTS,
+                                   calibrate_scan_rate, estimate,
+                                   recommend)
+from repro.systems.costmodel import WorkloadShape
+
+
+def shape(n, d, w=8, layers=8, q=20, c=1):
+    return WorkloadShape(n, d, w, layers, q, c)
+
+
+class TestEstimate:
+    def test_all_quadrants_priced(self):
+        out = estimate(shape(100_000, 1000), avg_nnz_per_instance=50)
+        assert set(out) == set(QUADRANTS)
+        for est in out.values():
+            assert est.comp_seconds > 0
+            assert est.comm_seconds > 0
+            assert est.histogram_memory_bytes > 0
+
+    def test_vertical_memory_is_w_times_smaller(self):
+        out = estimate(shape(100_000, 1000, w=8), 50)
+        assert out["QD2"].histogram_memory_bytes == pytest.approx(
+            8 * out["QD4"].histogram_memory_bytes
+        )
+
+    def test_colstore_hybrid_costs_more_compute(self):
+        out = estimate(shape(1_000_000, 100), 50)
+        assert out["QD3"].comp_seconds > out["QD4"].comp_seconds
+
+    def test_no_subtraction_costs_more(self):
+        out = estimate(shape(1_000_000, 100), 50)
+        assert out["QD1"].comp_seconds > out["QD2"].comp_seconds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate(shape(10, 10), 0.0)
+        with pytest.raises(ValueError):
+            estimate(shape(10, 10), 5, scan_rate=0)
+
+
+class TestRecommend:
+    def test_high_dim_prefers_vero(self):
+        rec = recommend(shape(1_000_000, 100_000), 200)
+        assert rec.best.quadrant == "QD4"
+
+    def test_multiclass_prefers_vero(self):
+        rec = recommend(shape(5_000_000, 5_000, c=10), 100)
+        assert rec.best.quadrant == "QD4"
+
+    def test_low_dim_many_instances_prefers_horizontal(self):
+        rec = recommend(shape(100_000_000, 30, q=10, layers=6), 30)
+        assert rec.best.quadrant == "QD2"
+
+    def test_fast_network_shifts_toward_horizontal(self):
+        """Section 6's Gender finding: the 10 Gbps production network
+        relieves horizontal partitioning's aggregation bottleneck, so
+        QD2's cost relative to QD4 shrinks."""
+        slow = recommend(shape(10_000_000, 50_000, layers=7), 30,
+                         network=NetworkModel.laboratory())
+        fast = recommend(shape(10_000_000, 50_000, layers=7), 30,
+                         network=NetworkModel.production())
+        gap = lambda rec: (  # noqa: E731 — QD2 cost relative to QD4
+            next(e for e in rec.ranking if e.quadrant == "QD2")
+            .total_seconds
+            / next(e for e in rec.ranking if e.quadrant == "QD4")
+            .total_seconds
+        )
+        assert gap(fast) < gap(slow)
+
+    def test_memory_budget_excludes_horizontal(self):
+        # Section 3.1.4 Age example: horizontal histograms need 56.6 GiB
+        rec = recommend(
+            shape(48_000_000, 330_000, c=9), 50,
+            memory_budget_bytes=30 * 2**30,
+        )
+        assert rec.best.quadrant in ("QD3", "QD4")
+        assert any("excluded" in r for r in rec.reasons)
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError, match="no quadrant"):
+            recommend(shape(48_000_000, 330_000, c=9), 50,
+                      memory_budget_bytes=1024)
+
+    def test_reasons_name_the_winner(self):
+        rec = recommend(shape(1_000_000, 100_000), 200)
+        assert any(rec.best.quadrant in r for r in rec.reasons)
+
+    def test_ranking_sorted(self):
+        rec = recommend(shape(1_000_000, 10_000), 100)
+        totals = [e.total_seconds for e in rec.ranking]
+        assert totals == sorted(totals)
+
+
+class TestCalibration:
+    def test_calibrate(self):
+        assert calibrate_scan_rate(2.0, 1e8) == 5e7
+        with pytest.raises(ValueError):
+            calibrate_scan_rate(0.0, 1.0)
+
+    def test_default_rate_order_of_magnitude(self):
+        assert 1e6 <= DEFAULT_SCAN_RATE <= 1e10
+
+
+class TestAgainstSimulator:
+    """The advisor's winner matches the simulated winner on the two
+    regimes the paper contrasts (validated end-to-end)."""
+
+    def run(self, name, dataset, cfg, cluster):
+        binned = bin_dataset(dataset, cfg.num_candidates)
+        result = make_system(name, cfg, cluster).fit(binned, num_trees=2)
+        return result.mean_tree_seconds()
+
+    def test_high_dim_regime(self):
+        dataset = make_classification(5_000, 5_000, density=0.01,
+                                      seed=91)
+        cfg = TrainConfig(num_trees=2, num_layers=6, num_candidates=20)
+        cluster = ClusterConfig(num_workers=8)
+        measured = {
+            q: self.run(name, dataset, cfg, cluster)
+            for q, name in (("QD2", "qd2"), ("QD4", "qd4"))
+        }
+        avg_nnz = dataset.features.nnz / dataset.num_instances
+        rec = recommend(
+            WorkloadShape(5_000, 5_000, 8, 6, 20), avg_nnz,
+        )
+        simulated_winner = min(measured, key=measured.get)
+        assert rec.best.quadrant == simulated_winner == "QD4"

@@ -1,0 +1,70 @@
+"""Heterogeneous-worker (straggler) simulation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, TrainConfig, make_classification, \
+    make_system
+from repro.data.dataset import bin_dataset
+from repro.systems.base import WorkerClock
+
+
+class TestWorkerClock:
+    def test_speed_scales_charge(self):
+        clock = WorkerClock(2, speeds=(1.0, 0.5))
+        clock.charge(0, 1.0)
+        clock.charge(1, 1.0)
+        assert clock.seconds[0] == 1.0
+        assert clock.seconds[1] == 2.0
+        assert clock.elapsed == 2.0
+
+    def test_charge_all_scaled(self):
+        clock = WorkerClock(3, speeds=(1.0, 2.0, 0.25))
+        clock.charge_all(1.0)
+        np.testing.assert_allclose(clock.seconds, [1.0, 0.5, 4.0])
+
+
+class TestClusterConfig:
+    def test_speed_validation(self):
+        with pytest.raises(ValueError, match="entries"):
+            ClusterConfig(num_workers=3, worker_speeds=(1.0, 1.0))
+        with pytest.raises(ValueError, match="> 0"):
+            ClusterConfig(num_workers=2, worker_speeds=(1.0, 0.0))
+
+    def test_speed_of(self):
+        cluster = ClusterConfig(num_workers=2, worker_speeds=(1.0, 0.5))
+        assert cluster.speed_of(1) == 0.5
+        assert ClusterConfig(num_workers=2).speed_of(1) == 1.0
+
+
+class TestStragglerEffect:
+    @pytest.fixture(scope="class")
+    def binned(self):
+        ds = make_classification(3000, 200, density=0.2, seed=51)
+        return bin_dataset(ds, 12)
+
+    def test_straggler_slows_training(self, binned):
+        cfg = TrainConfig(num_trees=2, num_layers=5, num_candidates=12)
+        uniform = ClusterConfig(num_workers=4)
+        skewed = ClusterConfig(num_workers=4,
+                               worker_speeds=(1.0, 1.0, 1.0, 0.25))
+        fast = make_system("qd4", cfg, uniform).fit(binned)
+        slow = make_system("qd4", cfg, skewed).fit(binned)
+        # a 4x-slower worker should roughly double-to-quadruple the
+        # max-over-workers computation; assert direction with a margin
+        # tolerant of wall-clock noise under load
+        assert slow.mean_comp_seconds() > 1.2 * fast.mean_comp_seconds()
+        # the model itself is unaffected
+        assert slow.ensemble.trees[0].num_splits == \
+            fast.ensemble.trees[0].num_splits
+
+    def test_straggler_does_not_change_traffic(self, binned):
+        cfg = TrainConfig(num_trees=2, num_layers=5, num_candidates=12)
+        uniform = ClusterConfig(num_workers=4)
+        skewed = ClusterConfig(num_workers=4,
+                               worker_speeds=(0.5, 1.0, 1.0, 1.0))
+        fast = make_system("qd2", cfg, uniform).fit(binned)
+        slow = make_system("qd2", cfg, skewed).fit(binned)
+        assert slow.comm.total_bytes == fast.comm.total_bytes

@@ -1,0 +1,110 @@
+"""CLI tests: each subcommand end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestDatagen:
+    def test_synthetic(self, tmp_path, capsys):
+        out = tmp_path / "data.libsvm"
+        assert main(["datagen", str(out), "--instances", "100",
+                     "--features", "10", "--density", "0.5"]) == 0
+        assert out.exists()
+        assert "wrote 100 x 10" in capsys.readouterr().out
+
+    def test_catalog(self, tmp_path, capsys):
+        out = tmp_path / "susy.libsvm"
+        assert main(["datagen", str(out), "--catalog", "susy",
+                     "--scale", "0.01"]) == 0
+        assert "x 18" in capsys.readouterr().out
+
+
+class TestTrainPredict:
+    def test_train_on_catalog(self, capsys):
+        assert main([
+            "train", "--catalog", "higgs", "--scale", "0.02",
+            "--system", "qd2", "--trees", "3", "--layers", "4",
+            "--workers", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "quadrant=QD2" in out
+        assert "auc=" in out
+
+    def test_train_save_predict(self, tmp_path, capsys):
+        data = tmp_path / "train.libsvm"
+        main(["datagen", str(data), "--instances", "400",
+              "--features", "15", "--density", "0.6"])
+        model = tmp_path / "model.json"
+        assert main([
+            "train", "--data", str(data), "--trees", "3",
+            "--layers", "4", "--workers", "2",
+            "--model-out", str(model),
+        ]) == 0
+        assert model.exists()
+        preds = tmp_path / "preds.txt"
+        assert main(["predict", str(model), str(data),
+                     "--output", str(preds)]) == 0
+        values = np.loadtxt(preds)
+        assert values.shape == (400,)
+        assert np.all((values > 0) & (values < 1))
+
+    def test_requires_one_data_source(self):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["train", "--trees", "1"])
+
+    def test_multiclass_predict_rows(self, tmp_path):
+        from repro import TrainConfig, GBDT, make_classification, \
+            save_ensemble
+        from repro.data.io import write_libsvm
+
+        ds = make_classification(120, 8, num_classes=3, density=0.8,
+                                 seed=3)
+        cfg = TrainConfig(num_trees=2, num_layers=3,
+                          objective="multiclass", num_classes=3)
+        ensemble = GBDT(cfg).fit(ds).ensemble
+        model = tmp_path / "mc.json"
+        save_ensemble(ensemble, model, objective="multiclass",
+                      num_classes=3)
+        data = tmp_path / "mc.libsvm"
+        write_libsvm(ds, data)
+        preds = tmp_path / "preds.txt"
+        assert main(["predict", str(model), str(data),
+                     "--output", str(preds)]) == 0
+        values = np.loadtxt(preds)
+        assert values.shape == (120, 3)
+        np.testing.assert_allclose(values.sum(axis=1), 1.0, atol=1e-4)
+
+
+class TestAdvise:
+    def test_high_dim_recommends_vero(self, capsys):
+        assert main([
+            "advise", "--instances", "1000000", "--features", "100000",
+            "--nnz-per-instance", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "QD4" in out
+        assert "recommendation" in out
+
+    def test_memory_budget_printed(self, capsys):
+        assert main([
+            "advise", "--instances", "48000000", "--features", "330000",
+            "--classes", "9", "--nnz-per-instance", "50",
+            "--memory-budget-gb", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "excluded" in out
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
