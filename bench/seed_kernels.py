@@ -1,0 +1,258 @@
+"""Pinned copies of the original (pre-builder) histogram kernels.
+
+These are the kernels exactly as shipped in the seed revision, kept here
+so ``kernel_bench.py`` can measure the builder engine against a stable
+"before" baseline without checking out old code.  Do not optimize this
+file — its whole value is staying frozen.
+
+``SeedBuilder`` wraps the copies behind the same call surface as
+:class:`repro.core.histogram.HistogramBuilder`, so it can be injected
+into the reference trainer for end-to-end before/after runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.histogram import Histogram
+from repro.data.matrix import CSCMatrix, CSRMatrix
+
+
+def seed_build_rowstore(
+    shard: CSRMatrix,
+    rows: np.ndarray,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    num_bins: int,
+) -> Tuple[Histogram, int]:
+    rows = np.asarray(rows, dtype=np.int64)
+    gradient_dim = grad.shape[1]
+    hist = Histogram(shard.num_cols, num_bins, gradient_dim)
+    lengths = np.diff(shard.indptr)[rows]
+    total = int(lengths.sum())
+    if total == 0:
+        return hist, 0
+    starts = shard.indptr[rows]
+    offsets = np.arange(total) - np.repeat(
+        np.concatenate(([0], np.cumsum(lengths)))[:-1], lengths
+    )
+    entry_pos = np.repeat(starts, lengths) + offsets
+    entry_rows = np.repeat(rows, lengths)
+    keys = (
+        shard.indices[entry_pos].astype(np.int64) * num_bins
+        + shard.values[entry_pos]
+    )
+    size = shard.num_cols * num_bins
+    for c in range(gradient_dim):
+        hist.grad[:, c] = np.bincount(
+            keys, weights=grad[entry_rows, c], minlength=size
+        )
+        hist.hess[:, c] = np.bincount(
+            keys, weights=hess[entry_rows, c], minlength=size
+        )
+    return hist, total
+
+
+def seed_build_colstore_layer(
+    shard: CSCMatrix,
+    slot_of_instance: np.ndarray,
+    num_slots: int,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    num_bins: int,
+) -> Tuple[List[Histogram], int]:
+    gradient_dim = grad.shape[1]
+    hists = [
+        Histogram(shard.num_cols, num_bins, gradient_dim)
+        for _ in range(num_slots)
+    ]
+    if shard.nnz == 0 or num_slots == 0:
+        return hists, 0
+    col_of = np.repeat(
+        np.arange(shard.num_cols, dtype=np.int64), np.diff(shard.indptr)
+    )
+    entry_rows = shard.indices.astype(np.int64)
+    slots = slot_of_instance[entry_rows].astype(np.int64)
+    active = slots >= 0
+    col_of = col_of[active]
+    rows = entry_rows[active]
+    slots = slots[active]
+    bins = shard.values[active].astype(np.int64)
+    size = shard.num_cols * num_bins
+    keys = slots * size + col_of * num_bins + bins
+    for c in range(gradient_dim):
+        grad_flat = np.bincount(
+            keys, weights=grad[rows, c], minlength=num_slots * size
+        )
+        hess_flat = np.bincount(
+            keys, weights=hess[rows, c], minlength=num_slots * size
+        )
+        for s in range(num_slots):
+            hists[s].grad[:, c] = grad_flat[s * size:(s + 1) * size]
+            hists[s].hess[:, c] = hess_flat[s * size:(s + 1) * size]
+    return hists, int(shard.nnz)
+
+
+def seed_build_colstore_hybrid(
+    shard: CSCMatrix,
+    node_rows: np.ndarray,
+    node_of_instance: np.ndarray,
+    node_id: int,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    num_bins: int,
+) -> Tuple[Histogram, int, int]:
+    node_rows = np.asarray(node_rows, dtype=np.int64)
+    gradient_dim = grad.shape[1]
+    hist = Histogram(shard.num_cols, num_bins, gradient_dim)
+    scanned = 0
+    searched = 0
+    grad_v = hist.grad_view()
+    hess_v = hist.hess_view()
+    node_size = node_rows.size
+    for j in range(shard.num_cols):
+        col_rows, col_bins = shard.col(j)
+        nnz = col_rows.size
+        if nnz == 0:
+            continue
+        log_cost = node_size * max(int(np.log2(nnz)), 1)
+        if nnz <= log_cost:
+            scanned += nnz
+            keep = node_of_instance[col_rows] == node_id
+            rows = col_rows[keep].astype(np.int64)
+            bins = col_bins[keep].astype(np.int64)
+        else:
+            searched += node_size
+            pos = np.searchsorted(col_rows, node_rows)
+            pos = np.minimum(pos, nnz - 1)
+            keep = col_rows[pos] == node_rows
+            rows = node_rows[keep]
+            bins = col_bins[pos[keep]].astype(np.int64)
+        if rows.size == 0:
+            continue
+        for c in range(gradient_dim):
+            grad_v[j, :, c] += np.bincount(
+                bins, weights=grad[rows, c], minlength=num_bins
+            )
+            hess_v[j, :, c] += np.bincount(
+                bins, weights=hess[rows, c], minlength=num_bins
+            )
+    return hist, scanned, searched
+
+
+class SeedColumnwiseIndex:
+    """The original ColumnwiseIndex: re-fetches and re-casts per call."""
+
+    def __init__(self, shard: CSCMatrix) -> None:
+        self.shard = shard
+        self.order = [
+            np.arange(int(n), dtype=np.int64) for n in shard.col_lengths()
+        ]
+        self.slices: List[Dict[int, Tuple[int, int]]] = [
+            {0: (0, int(n))} for n in shard.col_lengths()
+        ]
+
+    def node_entries(self, col: int,
+                     node_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        lo_hi = self.slices[col].get(node_id)
+        if lo_hi is None:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        lo, hi = lo_hi
+        col_rows, col_bins = self.shard.col(col)
+        sel = self.order[col][lo:hi]
+        return col_rows[sel].astype(np.int64), col_bins[sel].astype(np.int64)
+
+    def update_after_split(self, node_of_instance: np.ndarray,
+                           active_nodes: Sequence[int]) -> int:
+        moved = 0
+        active = set(int(n) for n in active_nodes)
+        for col in range(self.shard.num_cols):
+            col_rows, _ = self.shard.col(col)
+            if col_rows.size == 0:
+                self.slices[col] = {}
+                continue
+            nodes = node_of_instance[col_rows.astype(np.int64)]
+            order = np.argsort(nodes, kind="stable")
+            self.order[col] = order.astype(np.int64)
+            moved += order.size
+            sorted_nodes = nodes[order]
+            bounds = np.flatnonzero(
+                np.concatenate(
+                    ([True], sorted_nodes[1:] != sorted_nodes[:-1])
+                )
+            )
+            ends = np.concatenate((bounds[1:], [sorted_nodes.size]))
+            self.slices[col] = {
+                int(sorted_nodes[lo]): (int(lo), int(hi))
+                for lo, hi in zip(bounds, ends)
+                if int(sorted_nodes[lo]) in active
+            }
+        return moved
+
+
+def seed_build_colstore_columnwise(
+    index: "SeedColumnwiseIndex",
+    node_id: int,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    num_bins: int,
+) -> Tuple[Histogram, int]:
+    shard = index.shard
+    gradient_dim = grad.shape[1]
+    hist = Histogram(shard.num_cols, num_bins, gradient_dim)
+    grad_v = hist.grad_view()
+    hess_v = hist.hess_view()
+    touched = 0
+    for j in range(shard.num_cols):
+        rows, bins = index.node_entries(j, node_id)
+        if rows.size == 0:
+            continue
+        touched += rows.size
+        for c in range(gradient_dim):
+            grad_v[j, :, c] += np.bincount(
+                bins, weights=grad[rows, c], minlength=num_bins
+            )
+            hess_v[j, :, c] += np.bincount(
+                bins, weights=hess[rows, c], minlength=num_bins
+            )
+    return hist, touched
+
+
+class SeedBuilder:
+    """Seed kernels behind the HistogramBuilder call surface.
+
+    Inject into :class:`repro.core.gbdt.GBDT` for an end-to-end "before"
+    measurement: every histogram is freshly allocated and nothing is
+    recycled, exactly like the seed revision.
+    """
+
+    def build_rowstore(self, shard, rows, grad, hess, num_bins):
+        return seed_build_rowstore(shard, rows, grad, hess, num_bins)
+
+    def build_colstore_layer(self, shard, slot_of_instance, num_slots,
+                             grad, hess, num_bins):
+        return seed_build_colstore_layer(
+            shard, slot_of_instance, num_slots, grad, hess, num_bins
+        )
+
+    def build_colstore_hybrid(self, shard, node_rows, node_of_instance,
+                              node_id, grad, hess, num_bins):
+        return seed_build_colstore_hybrid(
+            shard, node_rows, node_of_instance, node_id, grad, hess,
+            num_bins,
+        )
+
+    def build_colstore_columnwise(self, index, node_id, grad, hess,
+                                  num_bins):
+        return seed_build_colstore_columnwise(
+            index, node_id, grad, hess, num_bins
+        )
+
+    def subtract(self, parent: Histogram, child: Histogram) -> Histogram:
+        return parent.subtract(child)
+
+    def release(self, hist: Optional[Histogram]) -> None:
+        pass

@@ -17,7 +17,12 @@ import numpy as np
 
 from ..config import TrainConfig
 from ..data.dataset import BinnedDataset, Dataset, bin_dataset
-from .histogram import Histogram, build_rowstore, node_totals
+from .histogram import (
+    Histogram,
+    HistogramBuilder,
+    default_builder,
+    node_totals,
+)
 from .indexing import NodeToInstanceIndex
 from .loss import Loss, make_loss
 from .metrics import auc, multiclass_accuracy, rmse
@@ -63,8 +68,12 @@ def metric_improved(name: str, candidate: float, incumbent: float) -> bool:
 class GBDT:
     """Reference (single-process) gradient boosted decision trees."""
 
-    def __init__(self, config: TrainConfig) -> None:
+    def __init__(self, config: TrainConfig,
+                 builder: Optional[HistogramBuilder] = None) -> None:
         self.config = config
+        # one workspace-owning kernel engine per trainer; its histogram
+        # pool recycles every per-node buffer across layers and trees
+        self.builder = builder if builder is not None else HistogramBuilder()
 
     # -- public API ----------------------------------------------------------
 
@@ -109,6 +118,7 @@ class GBDT:
             tree, leaf_of_instance = grow_tree(
                 cfg, binned, grad, hess,
                 sample_rows=sample_rows, feature_mask=feature_mask,
+                builder=self.builder,
             )
             ensemble.append(tree)
             if sample_rows is None:
@@ -181,14 +191,18 @@ def evaluate(
 
 
 def leaf_matrix(tree: Tree, leaf_of_instance: np.ndarray) -> np.ndarray:
-    """Per-instance leaf weights from the training-time leaf assignment."""
-    out = np.zeros((leaf_of_instance.size, tree.gradient_dim))
+    """Per-instance leaf weights from the training-time leaf assignment.
+
+    A lookup table indexed by leaf id replaces the per-leaf boolean masks
+    (O(leaves·N)) with one gather.  Rows outside the tree's sample carry
+    leaf id ``-1``, which lands on the table's trailing all-zero row.
+    """
+    max_node = max(tree.nodes) if tree.nodes else 0
+    lut = np.zeros((max_node + 2, tree.gradient_dim))
     for node_id, node in tree.nodes.items():
         if node.is_leaf:
-            mask = leaf_of_instance == node_id
-            if mask.any():
-                out[mask] = node.weight
-    return out
+            lut[node_id] = node.weight
+    return lut[leaf_of_instance]
 
 
 def grow_tree(
@@ -198,21 +212,25 @@ def grow_tree(
     hess: np.ndarray,
     sample_rows: Optional[np.ndarray] = None,
     feature_mask: Optional[np.ndarray] = None,
+    builder: Optional[HistogramBuilder] = None,
 ) -> Tuple[Tree, np.ndarray]:
     """Grow one tree on the full binned dataset (oracle path).
 
     Dispatches on ``cfg.growth``: layer-wise (the paper's strategy) or
     leaf-wise best-first.  ``sample_rows`` / ``feature_mask`` implement
     per-tree stochastic GBDT (rows outside the sample get leaf id -1;
-    masked-out features are never split on).  Returns the tree and each
-    instance's final leaf id.
+    masked-out features are never split on).  ``builder`` supplies the
+    kernel engine (the process-wide default when omitted).  Returns the
+    tree and each instance's final leaf id.
     """
+    if builder is None:
+        builder = default_builder()
     if cfg.growth == "leafwise":
         if sample_rows is not None or feature_mask is not None:
             raise ValueError(
                 "sampling is only implemented for layer-wise growth"
             )
-        return grow_tree_leafwise(cfg, binned, grad, hess)
+        return grow_tree_leafwise(cfg, binned, grad, hess, builder=builder)
     num_instances = binned.num_instances
     tree = Tree(cfg.num_layers, grad.shape[1])
     index = NodeToInstanceIndex(num_instances, rows=sample_rows)
@@ -227,7 +245,7 @@ def grow_tree(
         if not nodes:
             break
         build_histograms_with_subtraction(
-            binned, index, nodes, grad, hess, hist_store
+            binned, index, nodes, grad, hess, hist_store, builder=builder
         )
         splits: Dict[int, SplitInfo] = {}
         for node in nodes:
@@ -239,7 +257,7 @@ def grow_tree(
                                                 cfg.reg_lambda))
                 active.discard(node)
                 index.retire_node(node)
-                hist_store.pop(node, None)
+                builder.release(hist_store.pop(node, None))
             else:
                 splits[node] = split
         placements = layer_placements_rowstore(
@@ -259,6 +277,9 @@ def grow_tree(
     for node in sorted(active):
         tree.set_leaf(node, leaf_weight(*stats[node], cfg.reg_lambda))
         index.retire_node(node)
+    for hist in hist_store.values():
+        builder.release(hist)
+    hist_store.clear()
     return tree, index.node_of_instance.copy()
 
 
@@ -267,6 +288,7 @@ def grow_tree_leafwise(
     binned: BinnedDataset,
     grad: np.ndarray,
     hess: np.ndarray,
+    builder: Optional[HistogramBuilder] = None,
 ) -> Tuple[Tree, np.ndarray]:
     """Best-first growth: always split the leaf with the highest gain.
 
@@ -277,6 +299,8 @@ def grow_tree_leafwise(
     """
     import heapq
 
+    if builder is None:
+        builder = default_builder()
     num_instances = binned.num_instances
     tree = Tree(cfg.num_layers, grad.shape[1])
     index = NodeToInstanceIndex(num_instances)
@@ -296,8 +320,8 @@ def grow_tree_leafwise(
             return None
         return (-split.gain, node, split)
 
-    hist, _ = build_rowstore(binned.binned, index.rows_of(0), grad, hess,
-                             binned.num_bins)
+    hist, _ = builder.build_rowstore(binned.binned, index.rows_of(0),
+                                     grad, hess, binned.num_bins)
     hist_store[0] = hist
     heap = []
     entry = candidate(0)
@@ -319,13 +343,13 @@ def grow_tree_leafwise(
         stats[right] = node_totals(index.rows_of(right), grad, hess)
         small = index.smaller_child(left, right)
         large = right if small == left else left
-        child_hist, _ = build_rowstore(
+        child_hist, _ = builder.build_rowstore(
             binned.binned, index.rows_of(small), grad, hess,
             binned.num_bins,
         )
         hist_store[small] = child_hist
-        hist_store[large] = hist_store[node].subtract(child_hist)
-        del hist_store[node]
+        hist_store[large] = builder.subtract(hist_store[node], child_hist)
+        builder.release(hist_store.pop(node))
         for child in (left, right):
             entry = candidate(child)
             if entry is not None:
@@ -334,7 +358,7 @@ def grow_tree_leafwise(
     for node in index.active_nodes():
         tree.set_leaf(node, leaf_weight(*stats[node], cfg.reg_lambda))
         index.retire_node(node)
-        hist_store.pop(node, None)
+        builder.release(hist_store.pop(node, None))
     return tree, index.node_of_instance.copy()
 
 
@@ -345,6 +369,7 @@ def build_histograms_with_subtraction(
     grad: np.ndarray,
     hess: np.ndarray,
     hist_store: Dict[int, Histogram],
+    builder: Optional[HistogramBuilder] = None,
 ) -> int:
     """Fill ``hist_store`` for ``nodes`` using the subtraction technique.
 
@@ -352,6 +377,8 @@ def build_histograms_with_subtraction(
     other from the retained parent histogram (Section 2.1.2).  Returns the
     number of stored entries scanned.
     """
+    if builder is None:
+        builder = default_builder()
     scanned = 0
     done: Set[int] = set()
     for node in nodes:
@@ -366,17 +393,17 @@ def build_histograms_with_subtraction(
             small = index.smaller_child(min(node, sibling),
                                         max(node, sibling))
             large = sibling if small == node else node
-            hist, touched = build_rowstore(
+            hist, touched = builder.build_rowstore(
                 binned.binned, index.rows_of(small), grad, hess,
                 binned.num_bins,
             )
             scanned += touched
             hist_store[small] = hist
-            hist_store[large] = hist_store[parent].subtract(hist)
-            del hist_store[parent]
+            hist_store[large] = builder.subtract(hist_store[parent], hist)
+            builder.release(hist_store.pop(parent))
             done.update((small, large))
         else:
-            hist, touched = build_rowstore(
+            hist, touched = builder.build_rowstore(
                 binned.binned, index.rows_of(node), grad, hess,
                 binned.num_bins,
             )

@@ -23,9 +23,24 @@ pattern and index combination analyzed in Section 3.2:
   node-to-instance index (pure Yggdrasil mode, Appendix C): direct slices,
   but the index itself costs ``O(nnz)`` per layer to maintain.
 
-All kernels are numpy-vectorized and instrumented: they return the number of
-stored entries touched so tests can verify the complexity claims of
-Section 3.2.4.
+Histogram construction dominates GBDT computation (Section 3.2.4), so the
+kernels run on a reusable-workspace engine:
+
+* :class:`HistogramPool` recycles retired :class:`Histogram` buffers
+  (zero-fill instead of fresh allocation) with a ``reset``/``release``
+  lifecycle;
+* :class:`HistogramBuilder` owns a pool plus grow-only scratch arrays and
+  implements all four kernels allocation-free on the hot path, with a
+  dedicated **root fast path** (a node holding every shard row keys
+  directly off the shard's cached entry keys) and a **fused scatter** that
+  collapses the 2·C per-class ``bincount`` calls into C single passes over
+  stacked gradient/hessian weights.
+
+The module-level kernel functions are thin wrappers over a shared default
+builder, so existing callers keep working unchanged.  All kernels remain
+instrumented: they return the number of stored entries touched so tests can
+verify the complexity claims of Section 3.2.4 — the counters are computed
+from the same quantities as before and are bit-for-bit unchanged.
 """
 
 from __future__ import annotations
@@ -88,6 +103,12 @@ class Histogram:
 
     # -- algebra (the subtraction technique) ----------------------------------
 
+    def reset(self) -> "Histogram":
+        """Zero both buffers in place (pool recycling)."""
+        self.grad.fill(0.0)
+        self.hess.fill(0.0)
+        return self
+
     def add_inplace(self, other: "Histogram") -> "Histogram":
         self._check_compatible(other)
         self.grad += other.grad
@@ -142,6 +163,414 @@ def node_totals(rows: np.ndarray, grad: np.ndarray,
 
 
 # ---------------------------------------------------------------------------
+# Histogram pool: reset/release lifecycle for retired buffers
+# ---------------------------------------------------------------------------
+
+class HistogramPool:
+    """Recycler of retired :class:`Histogram` buffers.
+
+    Trainers allocate one histogram per tree node per layer; without reuse
+    that is thousands of short-lived ``2·D·q·C`` buffers per tree.  The pool
+    keeps released buffers keyed by shape and hands them back zeroed, so the
+    steady-state hot path performs no histogram allocation at all.
+
+    Contract: a caller must not ``release`` a histogram it (or anything
+    else) still references — the buffer will be recycled and overwritten.
+    Double releases of the same object are detected and ignored.
+    """
+
+    def __init__(self, max_retained: int = 256) -> None:
+        if max_retained < 0:
+            raise ValueError("max_retained must be >= 0")
+        self.max_retained = max_retained
+        self._free: Dict[Tuple[int, int, int], List[Histogram]] = {}
+        self._free_ids: set = set()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def retained(self) -> int:
+        """Number of buffers currently parked in the pool."""
+        return len(self._free_ids)
+
+    def acquire(self, num_features: int, num_bins: int, gradient_dim: int,
+                zero: bool = True) -> Histogram:
+        """A histogram of the given shape, recycled when possible.
+
+        ``zero=False`` skips the zero-fill for callers that overwrite every
+        bin (the kernels' full-scatter paths).
+        """
+        key = (num_features, num_bins, gradient_dim)
+        free = self._free.get(key)
+        if free:
+            hist = free.pop()
+            self._free_ids.discard(id(hist))
+            self.hits += 1
+            if zero:
+                hist.reset()
+            return hist
+        self.misses += 1
+        return Histogram(num_features, num_bins, gradient_dim)
+
+    def release(self, hist: Optional[Histogram]) -> None:
+        """Return a retired histogram for reuse (``None`` is a no-op)."""
+        if hist is None or id(hist) in self._free_ids:
+            return
+        if len(self._free_ids) >= self.max_retained:
+            return
+        key = (hist.num_features, hist.num_bins, hist.gradient_dim)
+        self._free.setdefault(key, []).append(hist)
+        self._free_ids.add(id(hist))
+
+    def clear(self) -> None:
+        self._free.clear()
+        self._free_ids.clear()
+
+
+# ---------------------------------------------------------------------------
+# Histogram builder: reusable workspaces + the four kernels
+# ---------------------------------------------------------------------------
+
+class HistogramBuilder:
+    """Workspace-owning engine behind the four construction kernels.
+
+    One builder serves one trainer (the in-process simulator shares it
+    across simulated workers).  It holds a :class:`HistogramPool` plus
+    grow-only scratch arrays for scatter keys and stacked weights, so
+    repeated kernel calls on same-scale workloads allocate nothing.
+    """
+
+    def __init__(self, pool: Optional[HistogramPool] = None) -> None:
+        self.pool = pool if pool is not None else HistogramPool()
+        self._scratch: Dict[str, np.ndarray] = {}
+
+    # -- workspaces -----------------------------------------------------------
+
+    def _buf(self, name: str, size: int, dtype) -> np.ndarray:
+        """Grow-only scratch array; contents are undefined on entry."""
+        buf = self._scratch.get(name)
+        if buf is None or buf.size < size:
+            capacity = max(size, 1024)
+            if buf is not None:
+                capacity = max(capacity, 2 * buf.size)
+            buf = np.empty(capacity, dtype=dtype)
+            self._scratch[name] = buf
+        return buf[:size]
+
+    def _iota(self, size: int) -> np.ndarray:
+        """``arange(size)`` served from a cached buffer."""
+        buf = self._scratch.get("iota")
+        if buf is None or buf.size < size:
+            capacity = max(size, 1024)
+            if buf is not None:
+                capacity = max(capacity, 2 * buf.size)
+            buf = np.arange(capacity, dtype=np.int64)
+            self._scratch["iota"] = buf
+        return buf[:size]
+
+    def release(self, hist: Optional[Histogram]) -> None:
+        self.pool.release(hist)
+
+    def subtract(self, parent: Histogram, child: Histogram) -> Histogram:
+        """``parent - child`` into a pooled buffer (sibling derivation)."""
+        parent._check_compatible(child)
+        out = self.pool.acquire(parent.num_features, parent.num_bins,
+                                parent.gradient_dim, zero=False)
+        np.subtract(parent.grad, child.grad, out=out.grad)
+        np.subtract(parent.hess, child.hess, out=out.hess)
+        return out
+
+    # -- the fused scatter ----------------------------------------------------
+
+    #: below this many entries the per-call overhead of ``bincount``
+    #: dominates its streaming cost, so fusing grad+hess into one call
+    #: over stacked weights wins; above it the fusion is a wash and the
+    #: doubled-key construction becomes a pure extra memory pass
+    FUSE_THRESHOLD = 1 << 16
+
+    def _scatter(self, hist: Histogram, keys: np.ndarray,
+                 entry_rows: np.ndarray, grad: np.ndarray,
+                 hess: np.ndarray, size: int) -> None:
+        """Scatter-add gradients and hessians of ``entry_rows`` at ``keys``.
+
+        Small scatters fuse the gradient and hessian passes: the hessian
+        half scatters at ``keys + size``, so one ``bincount`` over stacked
+        weights replaces two per class (2·C calls become C) — the common
+        case for the many small nodes deep in a tree.  Large scatters are
+        bandwidth-bound, so they keep separate passes and skip building
+        the doubled key array.  Every bin of ``hist`` is assigned, so
+        callers may acquire the buffer un-zeroed.
+        """
+        n = keys.size
+        if n <= self.FUSE_THRESHOLD:
+            kk = self._buf("fused_keys", 2 * n, np.int64)
+            kk[:n] = keys
+            np.add(keys, size, out=kk[n:])
+            w = self._buf("fused_weights", 2 * n, np.float64)
+            for c in range(grad.shape[1]):
+                np.take(grad[:, c], entry_rows, out=w[:n])
+                np.take(hess[:, c], entry_rows, out=w[n:])
+                flat = np.bincount(kk, weights=w, minlength=2 * size)
+                hist.grad[:, c] = flat[:size]
+                hist.hess[:, c] = flat[size:]
+            return
+        w = self._buf("fused_weights", n, np.float64)
+        for c in range(grad.shape[1]):
+            np.take(grad[:, c], entry_rows, out=w)
+            hist.grad[:, c] = np.bincount(keys, weights=w, minlength=size)
+            np.take(hess[:, c], entry_rows, out=w)
+            hist.hess[:, c] = np.bincount(keys, weights=w, minlength=size)
+
+    # -- row-store kernel (QD2 / QD4) -----------------------------------------
+
+    def build_rowstore(
+        self,
+        shard: CSRMatrix,
+        rows: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        num_bins: int,
+    ) -> Tuple[Histogram, int]:
+        """Histogram of one node from a binned row-store shard.
+
+        ``rows`` are node memberships and therefore assumed distinct.
+        Returns the histogram and the number of stored entries touched.
+        A node holding every shard row (each tree's root) takes the fast
+        path: scatter keys and entry-row ids come straight from the shard's
+        cached invariants, skipping the gather machinery entirely.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == shard.num_rows and rows.size:
+            return self._rowstore_root(shard, grad, hess, num_bins)
+        return self._rowstore_gather(shard, rows, grad, hess, num_bins)
+
+    def _rowstore_root(self, shard: CSRMatrix, grad: np.ndarray,
+                       hess: np.ndarray,
+                       num_bins: int) -> Tuple[Histogram, int]:
+        """Root fast path: the node's entries are the whole shard."""
+        gradient_dim = grad.shape[1]
+        total = int(shard.nnz)
+        if total == 0:
+            return self.pool.acquire(shard.num_cols, num_bins,
+                                     gradient_dim), 0
+        hist = self.pool.acquire(shard.num_cols, num_bins, gradient_dim,
+                                 zero=False)
+        self._scatter(hist, shard.hist_keys(num_bins),
+                      shard.row_of_entries(), grad, hess,
+                      shard.num_cols * num_bins)
+        return hist, total
+
+    def _rowstore_gather(self, shard: CSRMatrix, rows: np.ndarray,
+                         grad: np.ndarray, hess: np.ndarray,
+                         num_bins: int) -> Tuple[Histogram, int]:
+        """Generic path: gather the node's entries, then scatter."""
+        gradient_dim = grad.shape[1]
+        lengths = shard.row_lengths()[rows]
+        total = int(lengths.sum())
+        if total == 0:
+            return self.pool.acquire(shard.num_cols, num_bins,
+                                     gradient_dim), 0
+        hist = self.pool.acquire(shard.num_cols, num_bins, gradient_dim,
+                                 zero=False)
+        starts = shard.indptr[rows]
+        # position of each selected entry: repeat each row's start shifted
+        # by the entries already emitted, then add a flat ramp
+        entry_pos = np.repeat(starts - np.cumsum(lengths) + lengths,
+                              lengths)
+        entry_pos += self._iota(total)
+        entry_rows = np.repeat(rows, lengths)
+        # gather precomposed scatter keys from the shard cache: one take
+        # instead of re-deriving feature*num_bins + bin per entry
+        keys = self._buf("gather_keys", total, np.int64)
+        np.take(shard.hist_keys(num_bins), entry_pos, out=keys)
+        self._scatter(hist, keys, entry_rows, grad, hess,
+                      shard.num_cols * num_bins)
+        return hist, total
+
+    # -- column-store + instance-to-node kernel (QD1) -------------------------
+
+    def build_colstore_layer(
+        self,
+        shard: CSCMatrix,
+        slot_of_instance: np.ndarray,
+        num_slots: int,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        num_bins: int,
+    ) -> Tuple[List[Histogram], int]:
+        """Histograms of every active node of one layer, one shard pass.
+
+        ``slot_of_instance`` maps each shard-local row to a dense slot id
+        in ``[0, num_slots)`` — the position of its node within the active
+        layer — or ``-1`` for rows no longer on any active node.  This is
+        the instance-to-node index of Section 3.2.3: the whole shard is
+        scanned and histogram subtraction cannot skip any entries.
+        """
+        gradient_dim = grad.shape[1]
+        if shard.nnz == 0 or num_slots == 0:
+            return [
+                self.pool.acquire(shard.num_cols, num_bins, gradient_dim)
+                for _ in range(num_slots)
+            ], 0
+        slot_arr = np.asarray(slot_of_instance)
+        if slot_arr.dtype != np.int64:
+            slot_arr = slot_arr.astype(np.int64)
+        nnz = int(shard.nnz)
+        size = shard.num_cols * num_bins
+        slots = self._buf("layer_slots", nnz, np.int64)
+        np.take(slot_arr, shard.indices, out=slots)
+        base_keys = shard.hist_keys(num_bins)
+        active = self._buf("layer_active", nnz, np.bool_)
+        np.greater_equal(slots, 0, out=active)
+        if active.all():
+            keys = self._buf("layer_keys", nnz, np.int64)
+            np.multiply(slots, size, out=keys)
+            keys += base_keys
+            entry_rows: np.ndarray = shard.indices
+        else:
+            keys = slots[active]
+            keys *= size
+            keys += base_keys[active]
+            entry_rows = shard.indices[active]
+        hists = [
+            self.pool.acquire(shard.num_cols, num_bins, gradient_dim,
+                              zero=False)
+            for _ in range(num_slots)
+        ]
+        self._scatter_slotted(hists, keys, entry_rows, grad, hess, size,
+                              num_slots)
+        return hists, nnz
+
+    def _scatter_slotted(self, hists: List[Histogram], keys: np.ndarray,
+                         entry_rows: np.ndarray, grad: np.ndarray,
+                         hess: np.ndarray, size: int,
+                         num_slots: int) -> None:
+        """Fused scatter across a whole layer of slot-prefixed keys."""
+        n = keys.size
+        total_size = num_slots * size
+        kk = self._buf("fused_keys", 2 * n, np.int64)
+        kk[:n] = keys
+        np.add(keys, total_size, out=kk[n:])
+        w = self._buf("fused_weights", 2 * n, np.float64)
+        for c in range(grad.shape[1]):
+            np.take(grad[:, c], entry_rows, out=w[:n])
+            np.take(hess[:, c], entry_rows, out=w[n:])
+            flat = np.bincount(kk, weights=w, minlength=2 * total_size)
+            for s, hist in enumerate(hists):
+                hist.grad[:, c] = flat[s * size:(s + 1) * size]
+                hist.hess[:, c] = flat[total_size + s * size:
+                                       total_size + (s + 1) * size]
+
+    # -- column-store + hybrid index kernel (QD3) -----------------------------
+
+    def build_colstore_hybrid(
+        self,
+        shard: CSCMatrix,
+        node_rows: np.ndarray,
+        node_of_instance: np.ndarray,
+        node_id: int,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        num_bins: int,
+    ) -> Tuple[Histogram, int, int]:
+        """Histogram of one node from a binned column-store shard.
+
+        Per column the kernel picks the cheaper of two strategies
+        (Section 5.2.2):
+
+        * *linear scan* — read every entry of the column and keep those
+          whose instance currently sits on ``node_id`` (instance-to-node
+          index); cost ``nnz(column)``.
+        * *binary search* — locate each of the node's instances inside the
+          column's sorted row-index array (node-to-instance index); cost
+          ``|node| * log(nnz(column))``.
+
+        The selected entries of all columns are batched into one fused
+        scatter instead of 2·C ``bincount`` calls per column.
+
+        Returns ``(histogram, entries_scanned, searches_performed)``.
+        """
+        node_rows = np.asarray(node_rows, dtype=np.int64)
+        gradient_dim = grad.shape[1]
+        hist = self.pool.acquire(shard.num_cols, num_bins, gradient_dim)
+        scanned = 0
+        searched = 0
+        node_size = node_rows.size
+        col_lengths = shard.col_lengths()
+        rows_parts: List[np.ndarray] = []
+        keys_parts: List[np.ndarray] = []
+        for j in range(shard.num_cols):
+            nnz = int(col_lengths[j])
+            if nnz == 0:
+                continue
+            col_rows, col_bins = shard.col(j)
+            log_cost = node_size * max(int(np.log2(nnz)), 1)
+            if nnz <= log_cost:
+                # linear scan, filter via the instance-to-node index
+                scanned += nnz
+                keep = node_of_instance[col_rows] == node_id
+                rows = col_rows[keep]
+                bins = col_bins[keep]
+            else:
+                # binary search each node instance inside the column
+                searched += node_size
+                pos = np.searchsorted(col_rows, node_rows)
+                pos = np.minimum(pos, nnz - 1)
+                keep = col_rows[pos] == node_rows
+                rows = node_rows[keep]
+                bins = col_bins[pos[keep]]
+            if rows.size == 0:
+                continue
+            rows_parts.append(rows)
+            keys_parts.append(bins.astype(np.int64) + j * num_bins)
+        if keys_parts:
+            self._scatter(hist, np.concatenate(keys_parts),
+                          np.concatenate(rows_parts), grad, hess,
+                          shard.num_cols * num_bins)
+        return hist, scanned, searched
+
+    # -- column-store + column-wise index kernel (Yggdrasil mode) -------------
+
+    def build_colstore_columnwise(
+        self,
+        index: "ColumnwiseIndex",
+        node_id: int,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        num_bins: int,
+    ) -> Tuple[Histogram, int]:
+        """Histogram of one node using the column-wise index: direct
+        slices, batched into one fused scatter."""
+        shard = index.shard
+        gradient_dim = grad.shape[1]
+        hist = self.pool.acquire(shard.num_cols, num_bins, gradient_dim)
+        touched = 0
+        rows_parts: List[np.ndarray] = []
+        keys_parts: List[np.ndarray] = []
+        for j in range(shard.num_cols):
+            rows, bins = index.node_entries(j, node_id)
+            if rows.size == 0:
+                continue
+            touched += rows.size
+            rows_parts.append(rows)
+            keys_parts.append(bins + j * num_bins)
+        if keys_parts:
+            self._scatter(hist, np.concatenate(keys_parts),
+                          np.concatenate(rows_parts), grad, hess,
+                          shard.num_cols * num_bins)
+        return hist, touched
+
+
+#: shared builder behind the module-level kernel functions
+_DEFAULT_BUILDER = HistogramBuilder()
+
+
+def default_builder() -> HistogramBuilder:
+    """The process-wide builder used when callers pass no explicit one."""
+    return _DEFAULT_BUILDER
+
+
+# ---------------------------------------------------------------------------
 # Row-store kernel (QD2 horizontal+row, QD4 vertical+row)
 # ---------------------------------------------------------------------------
 
@@ -151,6 +580,7 @@ def build_rowstore(
     grad: np.ndarray,
     hess: np.ndarray,
     num_bins: int,
+    builder: Optional[HistogramBuilder] = None,
 ) -> Tuple[Histogram, int]:
     """Histogram of one node from a binned row-store shard.
 
@@ -160,32 +590,9 @@ def build_rowstore(
 
     Returns the histogram and the number of stored entries touched.
     """
-    rows = np.asarray(rows, dtype=np.int64)
-    gradient_dim = grad.shape[1]
-    hist = Histogram(shard.num_cols, num_bins, gradient_dim)
-    lengths = np.diff(shard.indptr)[rows]
-    total = int(lengths.sum())
-    if total == 0:
-        return hist, 0
-    starts = shard.indptr[rows]
-    offsets = np.arange(total) - np.repeat(
-        np.concatenate(([0], np.cumsum(lengths)))[:-1], lengths
+    return (builder or _DEFAULT_BUILDER).build_rowstore(
+        shard, rows, grad, hess, num_bins
     )
-    entry_pos = np.repeat(starts, lengths) + offsets
-    entry_rows = np.repeat(rows, lengths)
-    keys = (
-        shard.indices[entry_pos].astype(np.int64) * num_bins
-        + shard.values[entry_pos]
-    )
-    size = shard.num_cols * num_bins
-    for c in range(gradient_dim):
-        hist.grad[:, c] = np.bincount(
-            keys, weights=grad[entry_rows, c], minlength=size
-        )
-        hist.hess[:, c] = np.bincount(
-            keys, weights=hess[entry_rows, c], minlength=size
-        )
-    return hist, total
 
 
 # ---------------------------------------------------------------------------
@@ -199,45 +606,13 @@ def build_colstore_layer(
     grad: np.ndarray,
     hess: np.ndarray,
     num_bins: int,
+    builder: Optional[HistogramBuilder] = None,
 ) -> Tuple[List[Histogram], int]:
-    """Histograms of every active node of one layer, one pass over the shard.
-
-    ``slot_of_instance`` maps each shard-local row to a dense slot id in
-    ``[0, num_slots)`` — the position of its node within the active layer —
-    or ``-1`` for rows no longer on any active node.  This is the
-    instance-to-node index of Section 3.2.3: the whole shard is scanned and
-    histogram subtraction cannot skip any entries.
-    """
-    gradient_dim = grad.shape[1]
-    hists = [
-        Histogram(shard.num_cols, num_bins, gradient_dim)
-        for _ in range(num_slots)
-    ]
-    if shard.nnz == 0 or num_slots == 0:
-        return hists, 0
-    col_of = np.repeat(
-        np.arange(shard.num_cols, dtype=np.int64), np.diff(shard.indptr)
+    """Histograms of every active node of one layer, one pass over the
+    shard (see :meth:`HistogramBuilder.build_colstore_layer`)."""
+    return (builder or _DEFAULT_BUILDER).build_colstore_layer(
+        shard, slot_of_instance, num_slots, grad, hess, num_bins
     )
-    entry_rows = shard.indices.astype(np.int64)
-    slots = slot_of_instance[entry_rows].astype(np.int64)
-    active = slots >= 0
-    col_of = col_of[active]
-    rows = entry_rows[active]
-    slots = slots[active]
-    bins = shard.values[active].astype(np.int64)
-    size = shard.num_cols * num_bins
-    keys = slots * size + col_of * num_bins + bins
-    for c in range(gradient_dim):
-        grad_flat = np.bincount(
-            keys, weights=grad[rows, c], minlength=num_slots * size
-        )
-        hess_flat = np.bincount(
-            keys, weights=hess[rows, c], minlength=num_slots * size
-        )
-        for s in range(num_slots):
-            hists[s].grad[:, c] = grad_flat[s * size:(s + 1) * size]
-            hists[s].hess[:, c] = hess_flat[s * size:(s + 1) * size]
-    return hists, int(shard.nnz)
 
 
 # ---------------------------------------------------------------------------
@@ -252,59 +627,13 @@ def build_colstore_hybrid(
     grad: np.ndarray,
     hess: np.ndarray,
     num_bins: int,
+    builder: Optional[HistogramBuilder] = None,
 ) -> Tuple[Histogram, int, int]:
-    """Histogram of one node from a binned column-store shard.
-
-    Per column the kernel picks the cheaper of two strategies
-    (Section 5.2.2):
-
-    * *linear scan* — read every entry of the column and keep those whose
-      instance currently sits on ``node_id`` (instance-to-node index);
-      cost ``nnz(column)``.
-    * *binary search* — locate each of the node's instances inside the
-      column's sorted row-index array (node-to-instance index); cost
-      ``|node| * log(nnz(column))``.
-
-    Returns ``(histogram, entries_scanned, searches_performed)``.
-    """
-    node_rows = np.asarray(node_rows, dtype=np.int64)
-    gradient_dim = grad.shape[1]
-    hist = Histogram(shard.num_cols, num_bins, gradient_dim)
-    scanned = 0
-    searched = 0
-    grad_v = hist.grad_view()
-    hess_v = hist.hess_view()
-    node_size = node_rows.size
-    for j in range(shard.num_cols):
-        col_rows, col_bins = shard.col(j)
-        nnz = col_rows.size
-        if nnz == 0:
-            continue
-        log_cost = node_size * max(int(np.log2(nnz)), 1)
-        if nnz <= log_cost:
-            # linear scan, filter via the instance-to-node index
-            scanned += nnz
-            keep = node_of_instance[col_rows] == node_id
-            rows = col_rows[keep].astype(np.int64)
-            bins = col_bins[keep].astype(np.int64)
-        else:
-            # binary search each node instance inside the column
-            searched += node_size
-            pos = np.searchsorted(col_rows, node_rows)
-            pos = np.minimum(pos, nnz - 1)
-            keep = col_rows[pos] == node_rows
-            rows = node_rows[keep]
-            bins = col_bins[pos[keep]].astype(np.int64)
-        if rows.size == 0:
-            continue
-        for c in range(gradient_dim):
-            grad_v[j, :, c] += np.bincount(
-                bins, weights=grad[rows, c], minlength=num_bins
-            )
-            hess_v[j, :, c] += np.bincount(
-                bins, weights=hess[rows, c], minlength=num_bins
-            )
-    return hist, scanned, searched
+    """Histogram of one node from a binned column-store shard (see
+    :meth:`HistogramBuilder.build_colstore_hybrid`)."""
+    return (builder or _DEFAULT_BUILDER).build_colstore_hybrid(
+        shard, node_rows, node_of_instance, node_id, grad, hess, num_bins
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -319,17 +648,29 @@ class ColumnwiseIndex:
     needs no search at all.  The price is paid at node splitting: every
     column must be reordered, an ``O(nnz)`` pass per layer (``D`` times the
     bookkeeping of the other indexes, Section 3.2.4).
+
+    The per-column row/bin arrays are cached as ``int64`` once at
+    construction, so neither histogram reads nor index updates re-fetch
+    column views or re-cast dtypes.
     """
 
     def __init__(self, shard: CSCMatrix) -> None:
         self.shard = shard
+        lengths = shard.col_lengths()
+        # per-column row ids and bin values, cast once (read-only caches)
+        self._col_rows: List[np.ndarray] = []
+        self._col_bins: List[np.ndarray] = []
+        for j in range(shard.num_cols):
+            rows, bins = shard.col(j)
+            self._col_rows.append(rows.astype(np.int64))
+            self._col_bins.append(bins.astype(np.int64))
         # per-column permuted entry order, grouped by node
         self.order = [
-            np.arange(int(n), dtype=np.int64) for n in shard.col_lengths()
+            np.arange(int(n), dtype=np.int64) for n in lengths
         ]
         # per-column {node_id: (start, end)} slices into ``order``
         self.slices: List[Dict[int, Tuple[int, int]]] = [
-            {0: (0, int(n))} for n in shard.col_lengths()
+            {0: (0, int(n))} for n in lengths
         ]
 
     def node_entries(self, col: int,
@@ -340,9 +681,8 @@ class ColumnwiseIndex:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
         lo, hi = lo_hi
-        col_rows, col_bins = self.shard.col(col)
         sel = self.order[col][lo:hi]
-        return col_rows[sel].astype(np.int64), col_bins[sel].astype(np.int64)
+        return self._col_rows[col][sel], self._col_bins[col][sel]
 
     def update_after_split(self, node_of_instance: np.ndarray,
                            active_nodes: Sequence[int]) -> int:
@@ -350,13 +690,13 @@ class ColumnwiseIndex:
         moved = 0
         active = set(int(n) for n in active_nodes)
         for col in range(self.shard.num_cols):
-            col_rows, _ = self.shard.col(col)
+            col_rows = self._col_rows[col]
             if col_rows.size == 0:
                 self.slices[col] = {}
                 continue
-            nodes = node_of_instance[col_rows.astype(np.int64)]
+            nodes = node_of_instance[col_rows]
             order = np.argsort(nodes, kind="stable")
-            self.order[col] = order.astype(np.int64)
+            self.order[col] = order
             moved += order.size
             sorted_nodes = nodes[order]
             bounds = np.flatnonzero(
@@ -379,24 +719,9 @@ def build_colstore_columnwise(
     grad: np.ndarray,
     hess: np.ndarray,
     num_bins: int,
+    builder: Optional[HistogramBuilder] = None,
 ) -> Tuple[Histogram, int]:
     """Histogram of one node using the column-wise index: direct slices."""
-    shard = index.shard
-    gradient_dim = grad.shape[1]
-    hist = Histogram(shard.num_cols, num_bins, gradient_dim)
-    grad_v = hist.grad_view()
-    hess_v = hist.hess_view()
-    touched = 0
-    for j in range(shard.num_cols):
-        rows, bins = index.node_entries(j, node_id)
-        if rows.size == 0:
-            continue
-        touched += rows.size
-        for c in range(gradient_dim):
-            grad_v[j, :, c] += np.bincount(
-                bins, weights=grad[rows, c], minlength=num_bins
-            )
-            hess_v[j, :, c] += np.bincount(
-                bins, weights=hess[rows, c], minlength=num_bins
-            )
-    return hist, touched
+    return (builder or _DEFAULT_BUILDER).build_colstore_columnwise(
+        index, node_id, grad, hess, num_bins
+    )

@@ -37,7 +37,8 @@ class CSRMatrix:
         logical width of the matrix (columns may be entirely empty).
     """
 
-    __slots__ = ("indptr", "indices", "values", "num_cols")
+    __slots__ = ("indptr", "indices", "values", "num_cols",
+                 "_row_lengths", "_row_of", "_hist_keys")
 
     def __init__(
         self,
@@ -68,6 +69,11 @@ class CSRMatrix:
         self.indices = np.ascontiguousarray(indices, dtype=np.int32)
         self.values = np.ascontiguousarray(values)
         self.num_cols = int(num_cols)
+        # lazily-built invariants used by the histogram hot path; the
+        # backing arrays are treated as immutable after construction
+        self._row_lengths: "np.ndarray | None" = None
+        self._row_of: "np.ndarray | None" = None
+        self._hist_keys: dict = {}
 
     # -- construction -----------------------------------------------------
 
@@ -125,8 +131,37 @@ class CSRMatrix:
         return self.indptr.nbytes + self.indices.nbytes + self.values.nbytes
 
     def row_lengths(self) -> np.ndarray:
-        """Number of stored values in each row."""
-        return np.diff(self.indptr)
+        """Number of stored values in each row (cached)."""
+        if self._row_lengths is None:
+            self._row_lengths = np.diff(self.indptr)
+        return self._row_lengths
+
+    def row_of_entries(self) -> np.ndarray:
+        """Row id of every stored entry, in storage order (cached).
+
+        This is the expansion ``repeat(arange(num_rows), row_lengths)``
+        that the histogram kernels would otherwise rebuild per call.
+        """
+        if self._row_of is None:
+            self._row_of = np.repeat(
+                np.arange(self.num_rows, dtype=np.int32),
+                self.row_lengths(),
+            )
+        return self._row_of
+
+    def hist_keys(self, num_bins: int) -> np.ndarray:
+        """``feature * num_bins + bin`` per entry, for binned matrices.
+
+        Cached per ``num_bins``: these composite scatter keys are invariant
+        for the life of a binned shard, so the root-node histogram build can
+        skip the whole gather+key computation (the values *are* the bins).
+        """
+        keys = self._hist_keys.get(num_bins)
+        if keys is None:
+            keys = self.indices.astype(np.int64) * num_bins
+            keys += self.values
+            self._hist_keys[num_bins] = keys
+        return keys
 
     # -- access -------------------------------------------------------------
 
@@ -149,7 +184,7 @@ class CSRMatrix:
         if row_ids.size and (row_ids.min() < 0
                              or row_ids.max() >= self.num_rows):
             raise IndexError("row id out of range")
-        lengths = np.diff(self.indptr)[row_ids]
+        lengths = self.row_lengths()[row_ids]
         indptr = np.concatenate(([0], np.cumsum(lengths))).astype(np.int64)
         nnz = int(indptr[-1])
         indices = np.empty(nnz, dtype=np.int32)
@@ -177,7 +212,7 @@ class CSRMatrix:
         keep = remap[self.indices] >= 0
         new_indices = remap[self.indices[keep]].astype(np.int32)
         new_values = self.values[keep]
-        row_of = np.repeat(np.arange(self.num_rows), np.diff(self.indptr))
+        row_of = self.row_of_entries()
         counts = np.bincount(row_of[keep], minlength=self.num_rows)
         indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
         width = col_ids.size if renumber else self.num_cols
@@ -185,7 +220,7 @@ class CSRMatrix:
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self.shape, dtype=self.values.dtype)
-        row_of = np.repeat(np.arange(self.num_rows), np.diff(self.indptr))
+        row_of = self.row_of_entries()
         dense[row_of, self.indices] = self.values
         return dense
 
@@ -221,7 +256,8 @@ class CSRMatrix:
 class CSCMatrix:
     """Compressed Sparse Column matrix (see :class:`CSRMatrix`)."""
 
-    __slots__ = ("indptr", "indices", "values", "num_rows")
+    __slots__ = ("indptr", "indices", "values", "num_rows",
+                 "_col_lengths", "_col_of", "_hist_keys")
 
     def __init__(
         self,
@@ -247,6 +283,9 @@ class CSCMatrix:
         self.indices = np.ascontiguousarray(indices, dtype=np.int32)
         self.values = np.ascontiguousarray(values)
         self.num_rows = int(num_rows)
+        self._col_lengths: "np.ndarray | None" = None
+        self._col_of: "np.ndarray | None" = None
+        self._hist_keys: dict = {}
 
     @classmethod
     def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
@@ -281,7 +320,29 @@ class CSCMatrix:
             yield j, rows, vals
 
     def col_lengths(self) -> np.ndarray:
-        return np.diff(self.indptr)
+        """Number of stored values in each column (cached)."""
+        if self._col_lengths is None:
+            self._col_lengths = np.diff(self.indptr)
+        return self._col_lengths
+
+    def col_of_entries(self) -> np.ndarray:
+        """Column id of every stored entry, in storage order (cached)."""
+        if self._col_of is None:
+            self._col_of = np.repeat(
+                np.arange(self.num_cols, dtype=np.int32),
+                self.col_lengths(),
+            )
+        return self._col_of
+
+    def hist_keys(self, num_bins: int) -> np.ndarray:
+        """``column * num_bins + bin`` per entry, for binned matrices
+        (cached per ``num_bins``; see :meth:`CSRMatrix.hist_keys`)."""
+        keys = self._hist_keys.get(num_bins)
+        if keys is None:
+            keys = self.col_of_entries().astype(np.int64) * num_bins
+            keys += self.values
+            self._hist_keys[num_bins] = keys
+        return keys
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self.shape, dtype=self.values.dtype)

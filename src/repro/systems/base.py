@@ -27,7 +27,7 @@ import numpy as np
 
 from ..config import ClusterConfig, TrainConfig
 from ..core.gbdt import evaluate
-from ..core.histogram import Histogram
+from ..core.histogram import Histogram, HistogramBuilder, HistogramPool
 from ..core.loss import Loss, make_loss
 from ..core.split import SplitInfo, find_best_split, leaf_weight
 from ..core.tree import Tree, TreeEnsemble, layer_nodes
@@ -167,11 +167,15 @@ class HistogramStore:
     """Per-worker histogram cache with live/peak byte tracking.
 
     Parents are retained for subtraction (Section 3.1.2), so the peak here
-    is exactly the paper's per-worker histogram memory.
+    is exactly the paper's per-worker histogram memory.  With a
+    :class:`~repro.core.histogram.HistogramPool` attached, retired buffers
+    are recycled on ``pop``/``clear`` instead of discarded; pool-parked
+    buffers no longer count as live, so the accounting is unchanged.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, pool: Optional[HistogramPool] = None) -> None:
         self._store: Dict[int, Histogram] = {}
+        self._pool = pool
         self.live_bytes = 0
         self.peak_bytes = 0
 
@@ -187,15 +191,27 @@ class HistogramStore:
         return self._store[node]
 
     def pop(self, node: int) -> Optional[Histogram]:
+        """Retire a node's histogram.
+
+        Without a pool the histogram is returned for the caller to use;
+        with one it is released for reuse and ``None`` is returned (a
+        recycled buffer must not be retained).
+        """
         hist = self._store.pop(node, None)
         if hist is not None:
             self.live_bytes -= hist.nbytes
+            if self._pool is not None:
+                self._pool.release(hist)
+                return None
         return hist
 
     def __contains__(self, node: int) -> bool:
         return node in self._store
 
     def clear(self) -> None:
+        if self._pool is not None:
+            for hist in self._store.values():
+                self._pool.release(hist)
         self._store.clear()
         self.live_bytes = 0
 
@@ -227,6 +243,9 @@ class DistributedGBDT:
         self.cluster = cluster
         self.net = SimulatedNetwork(cluster.network)
         self.loss: Loss = make_loss(config.objective, config.num_classes)
+        # workspace-owning kernel engine shared by the simulated workers;
+        # its pool recycles per-node histogram buffers across layers/trees
+        self.hist_builder = HistogramBuilder()
 
     # -- subclass contract -----------------------------------------------------
 
@@ -356,14 +375,17 @@ class DistributedGBDT:
 
 
 def _leaf_scores(tree: Tree, leaf_of_instance: np.ndarray) -> np.ndarray:
-    """Per-instance leaf weights from the training-time assignment."""
-    out = np.zeros((leaf_of_instance.size, tree.gradient_dim))
+    """Per-instance leaf weights from the training-time assignment.
+
+    One lookup-table gather instead of a boolean mask per leaf; ids of
+    ``-1`` (untracked rows) land on the trailing all-zero row.
+    """
+    max_node = max(tree.nodes) if tree.nodes else 0
+    lut = np.zeros((max_node + 2, tree.gradient_dim))
     for node_id, node in tree.nodes.items():
         if node.is_leaf:
-            mask = leaf_of_instance == node_id
-            if mask.any():
-                out[mask] = node.weight
-    return out
+            lut[node_id] = node.weight
+    return lut[leaf_of_instance]
 
 
 def subtraction_schedule(

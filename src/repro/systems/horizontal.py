@@ -30,7 +30,10 @@ class HorizontalGBDT(DistributedGBDT):
         num_workers = self.cluster.num_workers
         self.shards, self.row_ranges = horizontal_shards(binned,
                                                          num_workers)
-        self.stores = [HistogramStore() for _ in range(num_workers)]
+        self.stores = [
+            HistogramStore(pool=self.hist_builder.pool)
+            for _ in range(num_workers)
+        ]
         # contiguous feature ranges used for reduce-scatter / server shards
         bounds = np.linspace(0, binned.num_features,
                              num_workers + 1).astype(np.int64)

@@ -18,7 +18,6 @@ import numpy as np
 
 from ..cluster.comm import (SPLIT_INFO_BYTES, allreduce_histograms,
                             broadcast_bytes, record_collective)
-from ..core.histogram import build_colstore_layer
 from ..core.placement import layer_placements_colstore
 from ..core.split import SplitInfo
 from ..core.tree import Tree, layer_nodes
@@ -89,7 +88,7 @@ class XGBoostStyle(HorizontalGBDT):
             index = self.indexes[worker]
             start = time.perf_counter()
             slots = index.slot_of_instance(nodes)
-            hists, _ = build_colstore_layer(
+            hists, _ = self.hist_builder.build_colstore_layer(
                 csc, slots, len(nodes), local_g, local_h,
                 self._binned.num_bins,
             )

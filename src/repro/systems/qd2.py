@@ -23,7 +23,7 @@ import numpy as np
 from ..cluster.comm import (exchange_split_infos, ps_push_histograms,
                             record_collective,
                             reduce_scatter_histograms)
-from ..core.histogram import Histogram, build_rowstore
+from ..core.histogram import Histogram
 from ..core.placement import layer_placements_rowstore
 from ..core.split import SplitInfo
 from ..core.tree import Tree, layer_nodes
@@ -89,15 +89,15 @@ class LightGBMStyle(HorizontalGBDT):
             start = time.perf_counter()
             for op, node, other in actions:
                 if op == "build":
-                    hist, _ = build_rowstore(
+                    hist, _ = self.hist_builder.build_rowstore(
                         shard.binned, index.rows_of(node), local_g,
                         local_h, self._binned.num_bins,
                     )
                     store.put(node, hist)
                 else:  # subtract: node = parent_hist - other(sibling)
                     parent = (node - 1) // 2
-                    store.put(node, store.get(parent).subtract(
-                        store.get(other)))
+                    store.put(node, self.hist_builder.subtract(
+                        store.get(parent), store.get(other)))
             # parents consumed this layer are no longer needed
             for op, node, _ in actions:
                 if op == "subtract":

@@ -17,9 +17,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..core.histogram import (ColumnwiseIndex, Histogram,
-                              build_colstore_columnwise,
-                              build_colstore_hybrid)
+from ..core.histogram import ColumnwiseIndex, Histogram
 from ..core.placement import layer_placements_colstore
 from ..core.split import SplitInfo
 from ..data.matrix import CSCMatrix
@@ -61,12 +59,12 @@ class YggdrasilStyle(VerticalGBDT):
         grad: np.ndarray, hess: np.ndarray,
     ) -> Histogram:
         if self.index_mode == "columnwise":
-            hist, _ = build_colstore_columnwise(
+            hist, _ = self.hist_builder.build_colstore_columnwise(
                 self.column_indexes[worker], node, grad, hess,
                 self._binned.num_bins,
             )
             return hist
-        hist, _, _ = build_colstore_hybrid(
+        hist, _, _ = self.hist_builder.build_colstore_hybrid(
             self.csc_shards[worker], rows, self.index.node_of_instance,
             node, grad, hess, self._binned.num_bins,
         )

@@ -15,7 +15,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..cluster.transform import TransformResult, horizontal_to_vertical
-from ..core.histogram import Histogram, build_rowstore
+from ..core.histogram import Histogram
 from ..core.placement import layer_placements_rowstore
 from ..core.split import SplitInfo
 from ..data.dataset import Dataset
@@ -33,7 +33,7 @@ class Vero(VerticalGBDT):
         self, worker: int, node: int, rows: np.ndarray,
         grad: np.ndarray, hess: np.ndarray,
     ) -> Histogram:
-        hist, _ = build_rowstore(
+        hist, _ = self.hist_builder.build_rowstore(
             self.shards[worker].binned, rows, grad, hess,
             self._binned.num_bins,
         )

@@ -48,7 +48,10 @@ class VerticalGBDT(DistributedGBDT):
         for worker, group in enumerate(self.groups):
             self.owner_of_feature[group] = worker
             self.local_of_feature[group] = np.arange(group.size)
-        self.stores = [HistogramStore() for _ in range(num_workers)]
+        self.stores = [
+            HistogramStore(pool=self.hist_builder.pool)
+            for _ in range(num_workers)
+        ]
         self._setup_storage()
         self._reset_tree_state()
 
@@ -154,8 +157,8 @@ class VerticalGBDT(DistributedGBDT):
                     store.put(node, hist)
                 else:
                     parent = (node - 1) // 2
-                    store.put(node, store.get(parent).subtract(
-                        store.get(other)))
+                    store.put(node, self.hist_builder.subtract(
+                        store.get(parent), store.get(other)))
             for op, node, _ in actions:
                 if op == "subtract":
                     store.pop((node - 1) // 2)
