@@ -11,6 +11,9 @@ Public API
 - :class:`GBDT` — single-process reference trainer.
 - :func:`make_system`, :class:`Vero` and the other quadrants — the
   distributed systems under study.
+- :class:`ExecutionPlan`, :func:`get_plan`, :data:`PLANS` — the
+  composable strategy plans behind every system (partition × storage ×
+  index × aggregation).
 - :func:`horizontal_to_vertical` — Vero's transformation pipeline.
 - :func:`recommend` — the data-management advisor (Section 6's open
   problem): pick a quadrant from workload shape + environment.
@@ -30,9 +33,10 @@ from .data.dataset import BinnedDataset, Dataset, bin_dataset
 from .data.io import read_libsvm, write_libsvm
 from .data.synthetic import make_classification, make_regression
 from .cluster.transform import horizontal_to_vertical
-from .systems import (DimBoostStyle, DistTrainResult, LightGBMStyle,
-                      LightGBMFeatureParallel, Vero, XGBoostStyle,
-                      YggdrasilStyle, make_system, recommend)
+from .systems import (DimBoostStyle, DistTrainResult, ExecutionPlan,
+                      LightGBMStyle, LightGBMFeatureParallel, PLANS,
+                      PlanExecutor, Vero, XGBoostStyle, YggdrasilStyle,
+                      get_plan, make_system, plan_keys, recommend)
 from .systems.costmodel import WorkloadShape
 
 __version__ = "1.0.0"
@@ -52,10 +56,13 @@ __all__ = [
     "Dataset",
     "DimBoostStyle",
     "DistTrainResult",
+    "ExecutionPlan",
     "GBDT",
     "LightGBMFeatureParallel",
     "LightGBMStyle",
     "NetworkModel",
+    "PLANS",
+    "PlanExecutor",
     "TrainConfig",
     "TrainResult",
     "Vero",
@@ -64,8 +71,10 @@ __all__ = [
     "accuracy",
     "auc",
     "bin_dataset",
+    "get_plan",
     "horizontal_to_vertical",
     "load_catalog",
+    "plan_keys",
     "logloss",
     "make_classification",
     "make_regression",

@@ -6,13 +6,14 @@ breakdown, convergence curves) and aggregate them into figure-ready rows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..config import ClusterConfig, TrainConfig
 from ..data.dataset import BinnedDataset, Dataset, bin_dataset
-from ..systems import DistTrainResult, make_system
+from ..systems import make_system
+from ..systems.plans import ExecutionPlan
 
 
 @dataclass
@@ -36,7 +37,7 @@ class ExperimentPoint:
 
 
 def run_point(
-    system_name: str,
+    system_name: "str | ExecutionPlan",
     binned: BinnedDataset,
     config: TrainConfig,
     cluster: ClusterConfig,
@@ -47,11 +48,25 @@ def run_point(
 ) -> ExperimentPoint:
     """Train and condense the run into one :class:`ExperimentPoint`.
 
-    ``num_trees`` overrides ``config.num_trees`` so sweeps can measure a
-    few trees of an otherwise long schedule (the paper reports mean and
-    standard deviation of per-tree time).
+    ``system_name`` is a system/plan registry name (any
+    :func:`~repro.systems.make_system` spelling, including plan keys
+    like ``"qd3-pure"``) or an :class:`ExecutionPlan` object — so the
+    harness can measure custom strategy compositions that have no
+    registry entry.  ``num_trees`` overrides ``config.num_trees`` so
+    sweeps can measure a few trees of an otherwise long schedule (the
+    paper reports mean and standard deviation of per-tree time).
     """
-    system = make_system(system_name, config, cluster, **system_kwargs)
+    if isinstance(system_name, ExecutionPlan):
+        if system_kwargs:
+            raise TypeError(
+                "system kwargs only apply to named systems; derive a "
+                "custom ExecutionPlan instead"
+            )
+        system = system_name.build(config, cluster)
+        system_name = system_name.key
+    else:
+        system = make_system(system_name, config, cluster,
+                             **system_kwargs)
     result = system.fit(binned, valid=valid, num_trees=num_trees)
     reports = result.tree_reports
     return ExperimentPoint(
@@ -71,7 +86,7 @@ def run_point(
 
 
 def sweep(
-    system_name: str,
+    system_name: "str | ExecutionPlan",
     workloads: Dict[str, BinnedDataset],
     config: TrainConfig,
     cluster: ClusterConfig,

@@ -18,8 +18,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
-
 from . import __version__
 from .config import ClusterConfig, NetworkModel, TrainConfig
 from .core.serialize import load_ensemble, save_ensemble
@@ -60,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--system", default="vero",
                        help="qd1/xgboost, qd2/lightgbm, dimboost, "
                             "qd3/yggdrasil, qd4/vero, lightgbm-fp")
+    train.add_argument("--plan",
+                       help="execution-plan registry key (e.g. qd2-ps, "
+                            "qd3-pure, qd4-blocked); overrides --system")
     train.add_argument("--trees", type=int, default=20)
     train.add_argument("--layers", type=int, default=6)
     train.add_argument("--candidates", type=int, default=20)
@@ -128,6 +129,7 @@ def cmd_train(args) -> int:
         learning_rate=args.learning_rate,
         objective="multiclass" if multiclass else "binary",
         num_classes=num_classes if multiclass else 2,
+        plan=args.plan or "",
     )
     cluster = ClusterConfig(
         num_workers=args.workers,
@@ -135,11 +137,11 @@ def cmd_train(args) -> int:
     )
     train, valid = dataset.split(1.0 - args.valid_fraction,
                                  seed=args.seed)
-    system = make_system(args.system, config, cluster)
+    system = make_system(config.plan or args.system, config, cluster)
     result = system.fit(train, valid=valid)
     last = result.evals[-1]
     print(f"system={system.name} quadrant={system.quadrant} "
-          f"workers={args.workers}")
+          f"plan={system.plan.key} workers={args.workers}")
     print(f"final {last.metric_name}={last.metric_value:.4f} after "
           f"{len(result.ensemble)} trees "
           f"({last.elapsed_seconds:.2f}s simulated)")
@@ -202,6 +204,8 @@ def cmd_advise(args) -> int:
     )
     print(f"recommendation: {rec.best.quadrant} "
           f"({rec.best.description})")
+    print(f"plan: {rec.plan_key} — run it with "
+          f"`repro train --plan {rec.plan_key}`")
     for reason in rec.reasons:
         print(f"  - {reason}")
     print("\nper-quadrant estimates (per tree):")

@@ -35,6 +35,84 @@ from .network import SimulatedNetwork
 SPLIT_INFO_BYTES = 4 + 4 + 1 + 8
 
 
+class Collective:
+    """Cost decomposition of one collective pattern [36].
+
+    A pattern knows how many payload bytes each worker puts on the wire
+    and how many latency rounds the collective takes; the simulated wall
+    time follows from the network model.  The registered patterns back
+    :func:`record_collective`, which the aggregation strategies of
+    :mod:`repro.systems.strategies` use to charge a layer's histogram
+    traffic in a single batched operation.
+    """
+
+    pattern: str = "abstract"
+
+    def per_worker_bytes(self, payload_bytes: int,
+                         num_workers: int) -> float:
+        """Bytes each worker sends for ``payload_bytes`` of payload."""
+        raise NotImplementedError
+
+    def latency_rounds(self, num_workers: int) -> int:
+        """Sequential message rounds (each paying one latency)."""
+        raise NotImplementedError
+
+    def seconds(self, payload_bytes: int, num_workers: int,
+                model) -> float:
+        return (
+            self.per_worker_bytes(payload_bytes, num_workers)
+            / model.bytes_per_second
+            + self.latency_rounds(num_workers) * model.latency_s
+        )
+
+
+class RingAllReduce(Collective):
+    """Ring all-reduce: each worker sends ``2 (W-1)/W`` of the payload
+    and every worker ends up with the full reduction (QD1)."""
+
+    pattern = "allreduce"
+
+    def per_worker_bytes(self, payload_bytes, num_workers):
+        return 2 * (num_workers - 1) / num_workers * payload_bytes
+
+    def latency_rounds(self, num_workers):
+        return 2 * (num_workers - 1)
+
+
+class RingReduceScatter(Collective):
+    """Ring reduce-scatter: the all-reduce's first half — ``(W-1)/W`` of
+    the payload per worker, each owning one shard of the result (QD2)."""
+
+    pattern = "reducescatter"
+
+    def per_worker_bytes(self, payload_bytes, num_workers):
+        return (num_workers - 1) / num_workers * payload_bytes
+
+    def latency_rounds(self, num_workers):
+        return num_workers - 1
+
+
+class ParameterServerPush(Collective):
+    """Parameter-server push: the full payload per worker, range-sharded
+    over ``W`` servers in parallel (the DimBoost flavour of QD2)."""
+
+    pattern = "ps"
+
+    def per_worker_bytes(self, payload_bytes, num_workers):
+        return payload_bytes
+
+    def latency_rounds(self, num_workers):
+        return num_workers
+
+
+#: registered collective cost models, by pattern name
+COLLECTIVES = {
+    coll.pattern: coll
+    for coll in (RingAllReduce(), RingReduceScatter(),
+                 ParameterServerPush())
+}
+
+
 def record_collective(
     net: SimulatedNetwork,
     kind: str,
@@ -47,32 +125,20 @@ def record_collective(
     Real systems batch all histograms of a tree layer into a single
     collective, so latency is paid once per layer, not once per node —
     callers accumulate a layer's payload and charge it here.  ``pattern``
-    selects the standard cost decomposition [36]:
-
-    * ``allreduce`` — ring: each worker sends ``2 (W-1)/W`` of the payload.
-    * ``reducescatter`` — ring half: ``(W-1)/W`` of the payload.
-    * ``ps`` — parameter-server push: the full payload per worker,
-      range-sharded over ``W`` servers in parallel.
+    names a :data:`COLLECTIVES` cost model (``allreduce``,
+    ``reducescatter`` or ``ps``).
     """
     if num_workers < 1:
         raise ValueError("num_workers must be >= 1")
     if payload_bytes < 0:
         raise ValueError("payload_bytes must be >= 0")
+    collective = COLLECTIVES.get(pattern)
+    if collective is None:
+        raise ValueError(f"unknown collective pattern: {pattern!r}")
     if num_workers == 1 or payload_bytes == 0:
         return 0.0
-    bps = net.model.bytes_per_second
-    lat = net.model.latency_s
-    if pattern == "allreduce":
-        per_worker = 2 * (num_workers - 1) / num_workers * payload_bytes
-        seconds = per_worker / bps + 2 * (num_workers - 1) * lat
-    elif pattern == "reducescatter":
-        per_worker = (num_workers - 1) / num_workers * payload_bytes
-        seconds = per_worker / bps + (num_workers - 1) * lat
-    elif pattern == "ps":
-        per_worker = payload_bytes
-        seconds = payload_bytes / bps + num_workers * lat
-    else:
-        raise ValueError(f"unknown collective pattern: {pattern!r}")
+    per_worker = collective.per_worker_bytes(payload_bytes, num_workers)
+    seconds = collective.seconds(payload_bytes, num_workers, net.model)
     net.record(kind, int(per_worker * num_workers), seconds)
     return seconds
 

@@ -39,7 +39,7 @@ from ..data.dataset import BinnedDataset, Dataset, apply_cuts
 from ..data.matrix import CSRMatrix
 from ..sketch.proposer import propose_candidates
 from ..sketch.quantile import MergingSketch
-from .blocks import Block, BlockedColumnGroup, blockify_shard
+from .blocks import BlockedColumnGroup, blockify_shard
 from .network import SimulatedNetwork
 from .partition import greedy_column_groups, horizontal_row_ranges
 

@@ -62,6 +62,13 @@ class TrainConfig:
         data management of the full dataset and reject sampling.
     seed:
         Seed for the sampling random stream.
+    plan:
+        Execution-plan registry key (e.g. ``"qd2-ps"``) naming the
+        distributed strategy composition to train with; the empty string
+        leaves the choice to the caller (``--system`` flag, advisor,
+        harness).  Resolved against :data:`repro.systems.plans.PLANS`
+        at build time, not here — the config layer stays free of system
+        imports.
     """
 
     num_trees: int = 100
@@ -80,6 +87,7 @@ class TrainConfig:
     subsample: float = 1.0
     colsample: float = 1.0
     seed: int = 0
+    plan: str = ""
 
     def __post_init__(self) -> None:
         if self.num_trees < 1:

@@ -18,7 +18,7 @@ splitting complexity of Section 3.2.4.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

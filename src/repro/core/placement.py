@@ -13,7 +13,7 @@ broadcasting it.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

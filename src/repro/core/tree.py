@@ -8,12 +8,12 @@ stores them and evaluates predictions on raw feature matrices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..data.matrix import CSCMatrix, CSRMatrix
+from ..data.matrix import CSCMatrix
 from .split import SplitInfo
 
 

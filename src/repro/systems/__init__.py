@@ -1,14 +1,25 @@
 """The four data-management quadrants, one code base (Section 5.2).
 
-========  ============  =========  ==========================
-Quadrant  Partitioning  Storage    Class
-========  ============  =========  ==========================
-QD1       horizontal    column     :class:`XGBoostStyle`
-QD2       horizontal    row        :class:`LightGBMStyle`,
-                                   :class:`DimBoostStyle`
-QD3       vertical      column     :class:`YggdrasilStyle`
-QD4       vertical      row        :class:`Vero`
-========  ============  =========  ==========================
+Every system is an :class:`~repro.systems.plans.ExecutionPlan` — one
+strategy per axis, composed by a
+:class:`~repro.systems.executor.PlanExecutor`:
+
+========  ============  =========  ============  =================
+Plan key  Partitioning  Storage    Index         Aggregation
+========  ============  =========  ============  =================
+qd1       horizontal    column     inst-to-node  all-reduce
+qd2       horizontal    row        node-to-inst  reduce-scatter
+qd2-ps    horizontal    row        node-to-inst  parameter-server
+qd2-fp    replicated    row        node-to-inst  local
+qd3       vertical      column     hybrid        bitmap-broadcast
+qd3-pure  vertical      column     columnwise    bitmap-broadcast
+vero      vertical      row        node-to-inst  bitmap-broadcast
+========  ============  =========  ============  =================
+
+The classic class names (:class:`XGBoostStyle`, :class:`LightGBMStyle`,
+:class:`DimBoostStyle`, :class:`YggdrasilStyle`, :class:`Vero`,
+:class:`LightGBMFeatureParallel`) survive as thin aliases over the
+registry entries.
 """
 
 from __future__ import annotations
@@ -18,22 +29,27 @@ from .advisor import (QuadrantEstimate, Recommendation, estimate,
                       recommend)
 from .base import (DistEvalRecord, DistributedGBDT, DistTrainResult,
                    MemoryReport, TreeReport)
+from .executor import PlanExecutor
 from .feature_parallel import LightGBMFeatureParallel
+from .plans import ALIASES, PLANS, ExecutionPlan, get_plan, plan_keys
 from .qd1 import XGBoostStyle
 from .qd2 import DimBoostStyle, LightGBMStyle
 from .qd3 import YggdrasilStyle
 from .vero import Vero
 
+#: names that resolve to a dedicated alias class (kwargs accepted)
 _SYSTEMS = {
     "qd1": XGBoostStyle,
     "xgboost": XGBoostStyle,
     "qd2": LightGBMStyle,
     "lightgbm": LightGBMStyle,
+    "qd2-ps": DimBoostStyle,
     "dimboost": DimBoostStyle,
     "qd3": YggdrasilStyle,
     "yggdrasil": YggdrasilStyle,
     "qd4": Vero,
     "vero": Vero,
+    "qd2-fp": LightGBMFeatureParallel,
     "lightgbm-fp": LightGBMFeatureParallel,
 }
 
@@ -41,22 +57,39 @@ _SYSTEMS = {
 def make_system(
     name: str, config: TrainConfig, cluster: ClusterConfig, **kwargs
 ) -> DistributedGBDT:
-    """Factory over quadrant/system names (case-insensitive).
+    """Factory over system names and plan registry keys (case-insensitive).
 
-    Accepted names: qd1/xgboost, qd2/lightgbm, dimboost, qd3/yggdrasil,
-    qd4/vero, lightgbm-fp.
+    Accepted names: qd1/xgboost, qd2/lightgbm, qd2-ps/dimboost,
+    qd3/yggdrasil (``index_mode=`` kwarg), qd4/vero, qd2-fp/lightgbm-fp,
+    plus any other :data:`~repro.systems.plans.PLANS` key (e.g.
+    ``qd3-pure``, ``qd4-blocked``).
     """
     cls = _SYSTEMS.get(name.lower())
-    if cls is None:
-        known = ", ".join(sorted(_SYSTEMS))
-        raise KeyError(f"unknown system {name!r}; known: {known}")
-    return cls(config, cluster, **kwargs)
+    if cls is not None:
+        return cls(config, cluster, **kwargs)
+    try:
+        plan = get_plan(name)
+    except KeyError:
+        known = ", ".join(sorted(set(_SYSTEMS) | set(PLANS) | set(ALIASES)))
+        raise KeyError(f"unknown system {name!r}; known: {known}") from None
+    if kwargs:
+        raise TypeError(
+            f"plan {plan.key!r} takes no keyword arguments; got "
+            f"{sorted(kwargs)}"
+        )
+    return plan.build(config, cluster)
 
 
 __all__ = [
+    "ALIASES",
+    "ExecutionPlan",
+    "PLANS",
+    "PlanExecutor",
     "QuadrantEstimate",
     "Recommendation",
     "estimate",
+    "get_plan",
+    "plan_keys",
     "recommend",
     "DistEvalRecord",
     "DistTrainResult",

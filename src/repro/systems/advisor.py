@@ -24,6 +24,7 @@ from typing import Dict, List
 from ..config import NetworkModel
 from .costmodel import (WorkloadShape, horizontal_comm_bytes_per_tree,
                         sizehist_bytes, vertical_comm_bytes_per_tree)
+from .plans import ExecutionPlan, get_plan
 
 #: key-value pair accesses per second of one worker core; the default is
 #: calibratable via :func:`calibrate_scan_rate`
@@ -36,6 +37,14 @@ _DESCRIPTIONS = {
     "QD2": "horizontal + row-store (LightGBM/DimBoost style)",
     "QD3": "vertical + column-store (Yggdrasil style)",
     "QD4": "vertical + row-store (Vero)",
+}
+
+#: quadrant label -> canonical plan registry key
+PLAN_OF_QUADRANT = {
+    "QD1": "qd1",
+    "QD2": "qd2",
+    "QD3": "qd3",
+    "QD4": "vero",
 }
 
 
@@ -56,14 +65,39 @@ class QuadrantEstimate:
     def description(self) -> str:
         return _DESCRIPTIONS[self.quadrant]
 
+    @property
+    def plan_key(self) -> str:
+        """Registry key of the quadrant's canonical execution plan."""
+        return PLAN_OF_QUADRANT[self.quadrant]
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The quadrant's canonical execution plan."""
+        return get_plan(self.plan_key)
+
 
 @dataclass(frozen=True)
 class Recommendation:
-    """The advisor's verdict: ranked quadrants plus the reasoning."""
+    """The advisor's verdict: ranked quadrants plus the reasoning.
+
+    The verdict is directly executable:
+    ``recommendation.plan.build(config, cluster).fit(binned)`` trains
+    with the recommended strategy composition.
+    """
 
     best: QuadrantEstimate
     ranking: List[QuadrantEstimate]
     reasons: List[str]
+
+    @property
+    def plan_key(self) -> str:
+        """Registry key of the recommended plan (``repro train --plan``)."""
+        return self.best.plan_key
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The recommended, ready-to-build execution plan."""
+        return self.best.plan
 
 
 def _access_counts(shape: WorkloadShape, avg_nnz: float) -> Dict[str, float]:

@@ -30,7 +30,7 @@ from ..core.gbdt import evaluate
 from ..core.histogram import Histogram, HistogramBuilder, HistogramPool
 from ..core.loss import Loss, make_loss
 from ..core.split import SplitInfo, find_best_split, leaf_weight
-from ..core.tree import Tree, TreeEnsemble, layer_nodes
+from ..core.tree import Tree, TreeEnsemble
 from ..data.dataset import BinnedDataset, Dataset, bin_dataset
 from ..cluster.network import CommStats, SimulatedNetwork
 

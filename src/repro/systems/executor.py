@@ -1,0 +1,149 @@
+"""The plan executor: one training loop for every quadrant.
+
+:class:`PlanExecutor` replaces the per-quadrant ``_train_tree`` overrides
+of the old inheritance tree.  It composes one strategy per axis —
+partitioning, storage layout, index plan, aggregation — and runs the
+single layer-wise loop they all shared:
+
+1. build each worker's histograms for the layer (:class:`IndexPlan`),
+2. turn them into global split decisions (:class:`AggregationStrategy`),
+3. finalize the nodes that did not split,
+4. apply the winning splits to every index replica (aggregation again —
+   it owns the placement traffic),
+5. run post-layer index maintenance and histogram retirement.
+
+All per-run state (shards, indexes, histogram stores, node statistics)
+lives on the executor; the strategies are stateless singletons from
+:mod:`~repro.systems.strategies`.  Which strategies compose is described
+by an :class:`~repro.systems.plans.ExecutionPlan`, so a new system
+variant is a registry entry, not a subclass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from ..cluster.transform import TransformResult, horizontal_to_vertical
+from ..config import ClusterConfig, TrainConfig
+from ..core.tree import Tree, layer_nodes
+from ..data.dataset import BinnedDataset, Dataset
+from .base import DistributedGBDT, DistTrainResult, HistogramStore, \
+    WorkerClock
+from .strategies import AGGREGATIONS, INDEX_PLANS, PARTITIONS, STORAGES
+
+if TYPE_CHECKING:
+    from .plans import ExecutionPlan
+
+
+class PlanExecutor(DistributedGBDT):
+    """Distributed GBDT trainer driven by an execution plan."""
+
+    def __init__(self, config: TrainConfig, cluster: ClusterConfig,
+                 plan: "ExecutionPlan") -> None:
+        super().__init__(config, cluster)
+        self.plan = plan
+        self.partition = PARTITIONS[plan.partition]
+        self.storage = STORAGES[plan.storage]
+        self.index_plan = INDEX_PLANS[plan.index]
+        self.aggregation = AGGREGATIONS[plan.aggregation]
+        self.aggregation.validate(config)
+        self.quadrant = plan.quadrant
+        self.name = plan.name
+        #: column grouping strategy (Section 4.2.3); ablations override
+        self.grouping = "greedy"
+
+    # -- state management --------------------------------------------------------
+
+    def _setup(self, binned: BinnedDataset) -> None:
+        self.partition.setup(self, binned)
+        self.stores = [
+            HistogramStore(pool=self.hist_builder.pool)
+            for _ in range(self.cluster.num_workers)
+        ]
+        self.storage.setup(self)
+        self.index_plan.setup(self)
+        self._reset_tree_state()
+
+    def _reset_tree_state(self) -> None:
+        self.partition.reset(self)
+        self.index_plan.reset(self)
+        for store in self.stores:
+            store.clear()
+        self.stats: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    # -- the unified training loop -----------------------------------------------
+
+    def _train_tree(self, grad: np.ndarray, hess: np.ndarray,
+                    clock: WorkerClock) -> Tuple[Tree, np.ndarray]:
+        cfg = self.config
+        self._reset_tree_state()
+        tree = Tree(cfg.num_layers, grad.shape[1])
+        self.partition.compute_stats(self, 0, grad, hess, clock)
+        active: Set[int] = {0}
+
+        for layer in range(cfg.num_layers - 1):
+            nodes = [n for n in layer_nodes(layer) if n in active]
+            if not nodes:
+                break
+            self.index_plan.build_layer(self, nodes, grad, hess, clock)
+            splits = self.aggregation.find_splits(self, nodes, clock)
+            for node in nodes:
+                if node not in splits:
+                    self._finalize_leaf(tree, node, active)
+            self.aggregation.apply_splits(self, tree, splits, grad, hess,
+                                          active, clock)
+            self.index_plan.after_layer(self, nodes, sorted(splits),
+                                        clock)
+        for node in sorted(active):
+            self._finalize_leaf(tree, node, active)
+        return tree, self.partition.assemble_leaves(self)
+
+    def _finalize_leaf(self, tree: Tree, node: int,
+                       active: Set[int]) -> None:
+        tree.set_leaf(node, self._leaf(self.stats[node]))
+        active.discard(node)
+        self.partition.retire_node(self, node)
+        for store in self.stores:
+            store.pop(node)
+
+    # -- accounting ---------------------------------------------------------------
+
+    def _gradient_instances(self) -> int:
+        return self.partition.gradient_instances(self)
+
+    def _data_bytes(self) -> int:
+        return self.partition.data_bytes(self)
+
+    def _histogram_peak_bytes(self) -> int:
+        return max(store.peak_bytes for store in self.stores)
+
+    # -- end-to-end path including the transformation ------------------------------
+
+    def fit_from_raw(
+        self,
+        train: Dataset,
+        valid: Optional[Dataset] = None,
+        num_trees: Optional[int] = None,
+    ) -> Tuple[DistTrainResult, TransformResult]:
+        """Transform a horizontally partitioned raw dataset, then train.
+
+        Only meaningful for vertically partitioned plans (QD4's five-step
+        transformation, Section 4.2.1); the transformation's sketch-based
+        candidate splits are used for training, so its compression is
+        lossless with respect to the model, and its cost report rides
+        along.
+        """
+        if self.partition.key == "horizontal":
+            raise ValueError(
+                "fit_from_raw runs the horizontal-to-vertical "
+                f"transformation; plan {self.plan.key!r} is already "
+                "horizontally partitioned — call fit() directly"
+            )
+        transform = horizontal_to_vertical(
+            train, self.cluster, self.config.num_candidates, net=self.net,
+        )
+        result = self.fit(transform.global_binned, valid=valid,
+                          num_trees=num_trees)
+        return result, transform

@@ -1,81 +1,25 @@
 """Feature-parallel LightGBM (Appendix D of the paper).
 
-Feature-parallel LightGBM does *not* partition the dataset: every worker
-loads a full copy and builds histograms only for its assigned feature
-subset.  Split finding proceeds like vertical partitioning (local best +
-election), but node splitting is local everywhere — no placement bitmap is
-broadcast because every worker owns all the data.  The price is ``W``
-full copies of the dataset, which is why the paper calls it impractical
-for large-scale workloads.
+Since the ExecutionPlan refactor this is a thin alias over the
+``qd2-fp`` registry entry: no dataset partitioning — every worker loads
+a full copy and builds histograms only for its assigned feature subset.
+Split finding proceeds like vertical partitioning (local best +
+election), but node splitting is local everywhere — no placement bitmap
+is broadcast because every worker owns all the data.  The price is
+``W`` full copies of the dataset, which is why the paper calls it
+impractical for large-scale workloads.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Set, Tuple
-
-import numpy as np
-
-from ..core.split import SplitInfo
-from ..core.tree import Tree
-from .base import WorkerClock
-from .vero import Vero
+from ..config import ClusterConfig, TrainConfig
+from .executor import PlanExecutor
+from .plans import get_plan
 
 
-class LightGBMFeatureParallel(Vero):
+class LightGBMFeatureParallel(PlanExecutor):
     """LightGBM's feature-parallel mode: full data copy per worker."""
 
-    quadrant = "QD2-FP"
-    name = "lightgbm-feature-parallel"
-
-    def _split_nodes(
-        self,
-        tree: Tree,
-        splits: Dict[int, SplitInfo],
-        grad: np.ndarray,
-        hess: np.ndarray,
-        active: Set[int],
-        clock: WorkerClock,
-    ) -> None:
-        """Local node splitting on every worker — no bitmap broadcast.
-
-        Each worker evaluates the winning split against its full data
-        copy; the placement computation is charged to all workers, and no
-        placement traffic hits the network.
-        """
-        import time
-
-        binned = self._binned
-        by_owner = {}
-        from ..core.split import SplitInfo
-
-        for node, split in sorted(splits.items()):
-            tree.set_split(node, split,
-                           binned.threshold_of(split.feature, split.bin))
-            owner = int(self.owner_of_feature[split.feature])
-            local = SplitInfo(
-                feature=int(self.local_of_feature[split.feature]),
-                bin=split.bin,
-                default_left=split.default_left,
-                gain=split.gain,
-            )
-            by_owner.setdefault(owner, {})[node] = local
-        start = time.perf_counter()
-        placements = {}
-        for owner, local_splits in by_owner.items():
-            placements.update(
-                self._owner_placements(owner, local_splits)
-            )
-        for node in sorted(splits):
-            left, right = 2 * node + 1, 2 * node + 2
-            self.index.split_node(node, placements[node], left, right)
-        clock.charge_all(time.perf_counter() - start, phase="node-split")
-        for node in sorted(splits):
-            left, right = 2 * node + 1, 2 * node + 2
-            self._set_stats(left, grad, hess, clock)
-            self._set_stats(right, grad, hess, clock)
-            active.discard(node)
-            active.update((left, right))
-
-    def _data_bytes(self) -> int:
-        """Every worker holds the entire dataset."""
-        return self._binned.binned.nbytes + self._binned.labels.nbytes
+    def __init__(self, config: TrainConfig,
+                 cluster: ClusterConfig) -> None:
+        super().__init__(config, cluster, get_plan("qd2-fp"))

@@ -1,147 +1,21 @@
 """QD1 — horizontal partitioning + column-store (XGBoost style).
 
-Workers keep their row shard in CSC and maintain an instance-to-node
-index.  Histogram construction is a level-wise pass over *all* stored
-entries of the shard (Section 4.1): the column kernel scatters every entry
-into the histogram of the node its instance currently occupies, so
-histogram subtraction cannot skip any data.  Local histograms are
-aggregated all-reduce style and a leader worker finds every node's best
-split; node splitting updates each worker's own index locally.
+Since the ExecutionPlan refactor this is a thin alias: the behavior
+lives in the ``qd1`` registry entry (horizontal partition, CSC column
+store, level-wise instance-to-node pass, ring all-reduce with a leader
+split find) composed by :class:`~repro.systems.executor.PlanExecutor`.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Sequence, Set, Tuple
-
-import numpy as np
-
-from ..cluster.comm import (SPLIT_INFO_BYTES, allreduce_histograms,
-                            broadcast_bytes, record_collective)
-from ..core.placement import layer_placements_colstore
-from ..core.split import SplitInfo
-from ..core.tree import Tree, layer_nodes
-from ..data.dataset import BinnedDataset
-from ..data.matrix import CSCMatrix
-from .base import WorkerClock
-from .horizontal import HorizontalGBDT
-
-#: leader worker that owns aggregated histograms and finds splits
-LEADER = 0
+from ..config import ClusterConfig, TrainConfig
+from .executor import PlanExecutor
+from .plans import get_plan
 
 
-class XGBoostStyle(HorizontalGBDT):
+class XGBoostStyle(PlanExecutor):
     """Horizontal + column-store with all-reduce aggregation."""
 
-    quadrant = "QD1"
-    name = "xgboost-style"
-
-    def _setup(self, binned: BinnedDataset) -> None:
-        super()._setup(binned)
-        self.csc_shards: List[CSCMatrix] = [
-            shard.csc() for shard in self.shards
-        ]
-
-    def _train_tree(self, grad: np.ndarray, hess: np.ndarray,
-                    clock: WorkerClock) -> Tuple[Tree, np.ndarray]:
-        cfg = self.config
-        self._reset_tree_state()
-        tree = Tree(cfg.num_layers, grad.shape[1])
-        self._aggregate_stats(0, grad, hess)
-        active: Set[int] = {0}
-
-        for layer in range(cfg.num_layers - 1):
-            nodes = [n for n in layer_nodes(layer) if n in active]
-            if not nodes:
-                break
-            layer_hists = self._build_and_aggregate(nodes, grad, hess,
-                                                    clock)
-            splits = self._leader_find_splits(nodes, layer_hists, clock)
-            for node in nodes:
-                if node not in splits:
-                    self._finalize_leaf(tree, node, active)
-            self._apply_layer_splits(
-                tree, splits, grad, hess, active, clock,
-                placement_fn=self._worker_placements,
-            )
-            # QD1 retains nothing: the layer's histograms are discarded.
-            for store in self.stores:
-                for node in nodes:
-                    store.pop(node)
-        for node in sorted(active):
-            self._finalize_leaf(tree, node, active)
-        return tree, self._assemble_leaves()
-
-    # -- histogram construction (level-wise column kernel) -------------------------
-
-    def _build_and_aggregate(
-        self,
-        nodes: Sequence[int],
-        grad: np.ndarray,
-        hess: np.ndarray,
-        clock: WorkerClock,
-    ) -> Dict[int, "np.ndarray"]:
-        """Local layer pass on every worker, then all-reduce per node."""
-        per_worker: List[List] = []
-        for worker, csc in enumerate(self.csc_shards):
-            local_g, local_h = self._local_grad(grad, hess, worker)
-            index = self.indexes[worker]
-            start = time.perf_counter()
-            slots = index.slot_of_instance(nodes)
-            hists, _ = self.hist_builder.build_colstore_layer(
-                csc, slots, len(nodes), local_g, local_h,
-                self._binned.num_bins,
-            )
-            clock.charge(worker, time.perf_counter() - start)
-            per_worker.append(hists)
-            store = self.stores[worker]
-            for node, hist in zip(nodes, hists):
-                store.put(node, hist)
-        aggregated = {}
-        payload = 0
-        for slot, node in enumerate(nodes):
-            aggregated[node] = allreduce_histograms(
-                [hists[slot] for hists in per_worker], net=None,
-            )
-            payload += aggregated[node].nbytes
-        # one all-reduce covers the whole layer (latency paid once)
-        record_collective(self.net, "hist-aggregation", payload,
-                          self.cluster.num_workers, "allreduce")
-        return aggregated
-
-    def _leader_find_splits(
-        self,
-        nodes: Sequence[int],
-        layer_hists: Dict[int, "np.ndarray"],
-        clock: WorkerClock,
-    ) -> Dict[int, SplitInfo]:
-        """The leader enumerates all candidate splits of every node."""
-        splits: Dict[int, SplitInfo] = {}
-        bins = self._binned.bins_per_feature
-        start = time.perf_counter()
-        for node in nodes:
-            split = self._decide_split(
-                layer_hists[node], self.global_stats[node],
-                self._node_count(node), bins,
-            )
-            if split is not None:
-                splits[node] = split
-        clock.charge(LEADER, time.perf_counter() - start,
-                     phase="split-find")
-        broadcast_bytes(len(splits) * SPLIT_INFO_BYTES,
-                        self.cluster.num_workers, self.net,
-                        kind="split-broadcast")
-        return splits
-
-    def _worker_placements(
-        self, worker: int, splits: Dict[int, SplitInfo]
-    ) -> Dict[int, np.ndarray]:
-        return layer_placements_colstore(
-            self.csc_shards[worker], self.indexes[worker], splits,
-        )
-
-    def _data_bytes(self) -> int:
-        return max(
-            csc.nbytes + shard.labels.nbytes
-            for csc, shard in zip(self.csc_shards, self.shards)
-        )
+    def __init__(self, config: TrainConfig,
+                 cluster: ClusterConfig) -> None:
+        super().__init__(config, cluster, get_plan("qd1"))

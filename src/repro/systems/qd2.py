@@ -1,207 +1,30 @@
 """QD2 — horizontal partitioning + row-store (LightGBM / DimBoost style).
 
-Workers keep their row shard in CSR, maintain a node-to-instance index and
-use histogram subtraction (the master decides the per-layer schema from
-global node counts, Section 4.2.2).  Per tree node, local histograms are
-aggregated and split finding is distributed over feature slices:
-
-* :class:`LightGBMStyle` aggregates with **reduce-scatter** — each worker
-  ends up owning the aggregated slice of ``D / W`` features and proposes a
-  local best split; the global best is elected from the exchange.
-* :class:`DimBoostStyle` pushes histograms to a **parameter server**
-  (range-sharded over the same workers) and lets the servers find the
-  per-slice best splits — the DimBoost architecture [17].
+Since the ExecutionPlan refactor these are thin aliases over the ``qd2``
+and ``qd2-ps`` registry entries: horizontal partition, CSR row store and
+a node-to-instance index with histogram subtraction, aggregated by
+reduce-scatter (:class:`LightGBMStyle`) or a parameter-server push
+(:class:`DimBoostStyle` — the DimBoost architecture [17]).
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple
-
-import numpy as np
-
-from ..cluster.comm import (exchange_split_infos, ps_push_histograms,
-                            record_collective,
-                            reduce_scatter_histograms)
-from ..core.histogram import Histogram
-from ..core.placement import layer_placements_rowstore
-from ..core.split import SplitInfo
-from ..core.tree import Tree, layer_nodes
-from .base import WorkerClock, subtraction_schedule
-from .horizontal import HorizontalGBDT
+from ..config import ClusterConfig, TrainConfig
+from .executor import PlanExecutor
+from .plans import get_plan
 
 
-class LightGBMStyle(HorizontalGBDT):
+class LightGBMStyle(PlanExecutor):
     """Horizontal + row-store with reduce-scatter aggregation."""
 
-    quadrant = "QD2"
-    name = "lightgbm-style"
-
-    def _train_tree(self, grad: np.ndarray, hess: np.ndarray,
-                    clock: WorkerClock) -> Tuple[Tree, np.ndarray]:
-        cfg = self.config
-        self._reset_tree_state()
-        tree = Tree(cfg.num_layers, grad.shape[1])
-        self._aggregate_stats(0, grad, hess)
-        active: Set[int] = {0}
-
-        for layer in range(cfg.num_layers - 1):
-            nodes = [n for n in layer_nodes(layer) if n in active]
-            if not nodes:
-                break
-            self._build_local_histograms(nodes, grad, hess, clock)
-            splits = self._find_splits(nodes, clock)
-            for node in nodes:
-                if node not in splits:
-                    self._finalize_leaf(tree, node, active)
-            self._apply_layer_splits(
-                tree, splits, grad, hess, active, clock,
-                placement_fn=self._worker_placements,
-            )
-            if not self.use_subtraction:
-                # parents are never consumed by subtraction: drop them
-                for store in self.stores:
-                    for node in nodes:
-                        store.pop(node)
-        for node in sorted(active):
-            self._finalize_leaf(tree, node, active)
-        return tree, self._assemble_leaves()
-
-    # -- histogram construction (row kernel + subtraction) ------------------------
-
-    def _build_local_histograms(
-        self,
-        nodes: Sequence[int],
-        grad: np.ndarray,
-        hess: np.ndarray,
-        clock: WorkerClock,
-    ) -> None:
-        counts = {node: self._node_count(node) for node in nodes}
-        have_parent = {
-            (node - 1) // 2 for node in nodes
-            if node > 0 and (node - 1) // 2 in self.stores[0]
-        } if self.use_subtraction else set()
-        actions = subtraction_schedule(nodes, counts, have_parent)
-        for worker, shard in enumerate(self.shards):
-            local_g, local_h = self._local_grad(grad, hess, worker)
-            index = self.indexes[worker]
-            store = self.stores[worker]
-            start = time.perf_counter()
-            for op, node, other in actions:
-                if op == "build":
-                    hist, _ = self.hist_builder.build_rowstore(
-                        shard.binned, index.rows_of(node), local_g,
-                        local_h, self._binned.num_bins,
-                    )
-                    store.put(node, hist)
-                else:  # subtract: node = parent_hist - other(sibling)
-                    parent = (node - 1) // 2
-                    store.put(node, self.hist_builder.subtract(
-                        store.get(parent), store.get(other)))
-            # parents consumed this layer are no longer needed
-            for op, node, _ in actions:
-                if op == "subtract":
-                    store.pop((node - 1) // 2)
-            clock.charge(worker, time.perf_counter() - start)
-
-    # -- split finding (aggregate + distributed search) -----------------------------
-
-    #: collective pattern used to aggregate one layer's histograms
-    aggregation_pattern = "reducescatter"
-
-    def _aggregate_node(self, node: int) -> List[Histogram]:
-        """Aggregated feature-slice histograms, one per worker.
-
-        The traffic is charged per layer in :meth:`_find_splits` (real
-        systems batch a layer's histograms into one collective)."""
-        return reduce_scatter_histograms(
-            [store.get(node) for store in self.stores],
-            self.feature_ranges, net=None,
-        )
-
-    def _find_splits(self, nodes: Sequence[int],
-                     clock: WorkerClock) -> Dict[int, SplitInfo]:
-        splits: Dict[int, SplitInfo] = {}
-        bins = self._binned.bins_per_feature
-        payload = 0
-        for node in nodes:
-            payload += self.stores[0].get(node).nbytes
-            slices = self._aggregate_node(node)
-            best: Optional[SplitInfo] = None
-            for worker, piece in enumerate(slices):
-                features = self.feature_ranges[worker]
-                if features.size == 0:
-                    continue
-                start = time.perf_counter()
-                candidate = self._decide_split(
-                    piece, self.global_stats[node],
-                    self._node_count(node), bins[features],
-                )
-                clock.charge(worker, time.perf_counter() - start,
-                             phase="split-find")
-                if candidate is not None:
-                    candidate = SplitInfo(
-                        feature=candidate.feature + int(features[0]),
-                        bin=candidate.bin,
-                        default_left=candidate.default_left,
-                        gain=candidate.gain,
-                    )
-                    if candidate.better_than(best):
-                        best = candidate
-            if best is not None:
-                splits[node] = best
-        record_collective(self.net, "hist-aggregation", payload,
-                          self.cluster.num_workers,
-                          self.aggregation_pattern)
-        exchange_split_infos(len(nodes), self.cluster.num_workers,
-                             self.net)
-        return splits
-
-    def _worker_placements(
-        self, worker: int, splits: Dict[int, SplitInfo]
-    ) -> Dict[int, np.ndarray]:
-        return layer_placements_rowstore(
-            self.shards[worker].binned, self.indexes[worker], splits,
-            search_keys=self.shards[worker].search_keys(),
-        )
+    def __init__(self, config: TrainConfig,
+                 cluster: ClusterConfig) -> None:
+        super().__init__(config, cluster, get_plan("qd2"))
 
 
-class DimBoostStyle(LightGBMStyle):
-    """QD2 with parameter-server aggregation (DimBoost architecture).
+class DimBoostStyle(PlanExecutor):
+    """QD2 with parameter-server aggregation (DimBoost architecture)."""
 
-    Histograms are pushed to ``W`` range-sharded servers; split finding
-    happens server-side on the full aggregated histogram slices, like
-    LightGBM's distributed search, but the push moves each worker's entire
-    local histogram (no reduce-scatter savings).
-    """
-
-    quadrant = "QD2"
-    name = "dimboost-style"
-
-    def __init__(self, config, cluster) -> None:
-        if config.objective == "multiclass":
-            raise ValueError(
-                "DimBoost does not support multi-classification "
-                "(Section 5.3 of the paper)"
-            )
-        super().__init__(config, cluster)
-
-    aggregation_pattern = "ps"
-
-    def _aggregate_node(self, node: int) -> List[Histogram]:
-        total = ps_push_histograms(
-            [store.get(node) for store in self.stores], net=None,
-        )
-        grad_view = total.grad_view()
-        hess_view = total.hess_view()
-        slices: List[Histogram] = []
-        for features in self.feature_ranges:
-            piece = Histogram(max(features.size, 1), total.num_bins,
-                              total.gradient_dim)
-            if features.size:
-                piece.grad[:] = grad_view[features].reshape(
-                    piece.grad.shape)
-                piece.hess[:] = hess_view[features].reshape(
-                    piece.hess.shape)
-            slices.append(piece)
-        return slices
+    def __init__(self, config: TrainConfig,
+                 cluster: ClusterConfig) -> None:
+        super().__init__(config, cluster, get_plan("qd2-ps"))

@@ -1,96 +1,32 @@
 """QD3 — vertical partitioning + column-store (Yggdrasil style).
 
-Two index modes are provided:
+Since the ExecutionPlan refactor this is a thin alias over two registry
+entries, selected by ``index_mode``:
 
-* ``"hybrid"`` (default) — the paper's own QD3 implementation
-  (Section 5.2.2): per column, choose linear scan with instance-to-node
-  lookups or binary search of the node's instances, whichever is cheaper.
-* ``"columnwise"`` — pure Yggdrasil: a column-wise node-to-instance index
-  gives free per-node slices but costs an ``O(nnz)`` reorder of every
-  column at each layer split (Appendix C compares the two).
+* ``"hybrid"`` (default, plan ``qd3``) — the paper's own QD3
+  implementation (Section 5.2.2): per column, choose linear scan with
+  instance-to-node lookups or binary search of the node's instances,
+  whichever is cheaper.
+* ``"columnwise"`` (plan ``qd3-pure``) — pure Yggdrasil: a column-wise
+  node-to-instance index gives free per-node slices but costs an
+  ``O(nnz)`` reorder of every column at each layer split (Appendix C
+  compares the two).
 """
 
 from __future__ import annotations
 
-import time
-from typing import List, Sequence
-
-import numpy as np
-
-from ..core.histogram import ColumnwiseIndex, Histogram
-from ..core.placement import layer_placements_colstore
-from ..core.split import SplitInfo
-from ..data.matrix import CSCMatrix
-from .base import WorkerClock
-from .vertical import VerticalGBDT
+from ..config import ClusterConfig, TrainConfig
+from .executor import PlanExecutor
+from .plans import get_plan
 
 
-class YggdrasilStyle(VerticalGBDT):
+class YggdrasilStyle(PlanExecutor):
     """Vertical + column-store."""
 
-    quadrant = "QD3"
-    name = "yggdrasil-style"
-
-    def __init__(self, config, cluster, index_mode: str = "hybrid") -> None:
+    def __init__(self, config: TrainConfig, cluster: ClusterConfig,
+                 index_mode: str = "hybrid") -> None:
         if index_mode not in ("hybrid", "columnwise"):
             raise ValueError(f"unknown index_mode: {index_mode!r}")
-        super().__init__(config, cluster)
+        plan = get_plan("qd3" if index_mode == "hybrid" else "qd3-pure")
+        super().__init__(config, cluster, plan)
         self.index_mode = index_mode
-
-    def _setup_storage(self) -> None:
-        self.csc_shards: List[CSCMatrix] = [
-            shard.csc() for shard in self.shards
-        ]
-        self.column_indexes: List[ColumnwiseIndex] = []
-        if self.index_mode == "columnwise":
-            self.column_indexes = [
-                ColumnwiseIndex(csc) for csc in self.csc_shards
-            ]
-
-    def _reset_tree_state(self) -> None:
-        super()._reset_tree_state()
-        if self.index_mode == "columnwise" and hasattr(self, "csc_shards"):
-            self.column_indexes = [
-                ColumnwiseIndex(csc) for csc in self.csc_shards
-            ]
-
-    def _build_node_hist(
-        self, worker: int, node: int, rows: np.ndarray,
-        grad: np.ndarray, hess: np.ndarray,
-    ) -> Histogram:
-        if self.index_mode == "columnwise":
-            hist, _ = self.hist_builder.build_colstore_columnwise(
-                self.column_indexes[worker], node, grad, hess,
-                self._binned.num_bins,
-            )
-            return hist
-        hist, _, _ = self.hist_builder.build_colstore_hybrid(
-            self.csc_shards[worker], rows, self.index.node_of_instance,
-            node, grad, hess, self._binned.num_bins,
-        )
-        return hist
-
-    def _owner_placements(self, worker, splits):
-        return layer_placements_colstore(
-            self.csc_shards[worker], self.index, splits,
-        )
-
-    def _after_layer_split(self, split_nodes: Sequence[int],
-                           clock: WorkerClock) -> None:
-        """Columnwise mode pays the per-column index reorder here."""
-        if self.index_mode != "columnwise" or not split_nodes:
-            return
-        children = [c for n in split_nodes for c in (2 * n + 1, 2 * n + 2)]
-        for worker, column_index in enumerate(self.column_indexes):
-            start = time.perf_counter()
-            column_index.update_after_split(
-                self.index.node_of_instance, children,
-            )
-            clock.charge(worker, time.perf_counter() - start,
-                         phase="node-split")
-
-    def _data_bytes(self) -> int:
-        return max(
-            csc.nbytes + self._binned.labels.nbytes
-            for csc in self.csc_shards
-        )

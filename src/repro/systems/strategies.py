@@ -1,0 +1,926 @@
+"""The four strategy axes of a distributed GBDT execution plan.
+
+The paper's thesis is that distributed GBDT decomposes into orthogonal
+data-management choices.  This module makes each axis a first-class
+strategy object:
+
+* :class:`PartitionStrategy` — who owns which slice of the dataset
+  (horizontal row shards / vertical column groups / full replicas) and,
+  consequently, where gradients and node statistics live.
+* :class:`StorageLayout` — how a worker lays out its shard (CSR row
+  store / CSC column store / blockified column group) and which
+  histogram-construction and placement kernels that layout admits.
+* :class:`IndexPlan` — which node/instance index drives histogram
+  construction (level-wise instance-to-node pass, node-to-instance with
+  subtraction scheduling, per-column node-to-instance, the hybrid plan
+  of Section 5.2.2, or the blockified two-phase index of Figure 9).
+* :class:`AggregationStrategy` — how per-worker histograms become global
+  split decisions (ring all-reduce, reduce-scatter, parameter-server
+  push, or no aggregation at all with local election plus placement
+  bitmap broadcast), including every byte the pattern puts on the wire.
+
+Strategies are stateless policy singletons: all per-run state (shards,
+indexes, histogram stores, node statistics) lives on the
+:class:`~repro.systems.executor.PlanExecutor` they are handed, so one
+strategy instance can serve any number of concurrent executors.  The
+combination of one strategy per axis is an
+:class:`~repro.systems.plans.ExecutionPlan`; the quadrants of the paper
+are seven entries in that plan registry rather than seven subclasses.
+
+Every method here is a verbatim relocation of the corresponding
+pre-refactor quadrant code — the equivalence suite pins bit-identical
+trees and identical traffic against the frozen legacy classes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from ..cluster.bitmap import (bitmap_nbytes, decode_placement,
+                              encode_placement)
+from ..cluster.blocks import BlockedColumnGroup, blockify_shard
+from ..cluster.comm import (SPLIT_INFO_BYTES, allreduce_histograms,
+                            broadcast_bytes, exchange_split_infos,
+                            ps_push_histograms, record_collective,
+                            reduce_scatter_histograms)
+from ..cluster.partition import horizontal_shards, vertical_shards
+from ..core.histogram import ColumnwiseIndex, Histogram, node_totals
+from ..core.indexing import NodeToInstanceIndex
+from ..core.placement import (layer_placements_colstore,
+                              layer_placements_rowstore,
+                              rowstore_search_keys)
+from ..core.split import SplitInfo
+from ..core.tree import Tree
+from .base import WorkerClock, subtraction_schedule
+
+if TYPE_CHECKING:
+    from ..config import TrainConfig
+    from .executor import PlanExecutor
+
+#: leader worker that owns aggregated histograms under all-reduce (QD1)
+LEADER = 0
+
+
+# ---------------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------------
+
+class PartitionStrategy:
+    """How the dataset is sliced across workers.
+
+    A partition owns the per-run sharding state on the executor, knows
+    where gradients are computed, how node statistics are obtained, and
+    how per-instance leaf ids are assembled at the end of a tree.
+    """
+
+    key: str = "abstract"
+
+    def setup(self, ex: "PlanExecutor", binned) -> None:
+        raise NotImplementedError
+
+    def reset(self, ex: "PlanExecutor") -> None:
+        """Per-tree index/statistics reset."""
+        raise NotImplementedError
+
+    def hist_workers(self, ex: "PlanExecutor") -> Sequence[int]:
+        """Workers that participate in histogram construction."""
+        return range(ex.cluster.num_workers)
+
+    def worker_grad(self, ex: "PlanExecutor", worker: int,
+                    grad: np.ndarray,
+                    hess: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """The gradient rows worker ``worker`` holds locally."""
+        raise NotImplementedError
+
+    def worker_index(self, ex: "PlanExecutor",
+                     worker: int) -> NodeToInstanceIndex:
+        """The node/instance index tracking the worker's local rows."""
+        raise NotImplementedError
+
+    def gradient_instances(self, ex: "PlanExecutor") -> int:
+        raise NotImplementedError
+
+    def node_count(self, ex: "PlanExecutor", node: int) -> int:
+        raise NotImplementedError
+
+    def compute_stats(self, ex: "PlanExecutor", node: int,
+                      grad: np.ndarray, hess: np.ndarray,
+                      clock: WorkerClock) -> None:
+        """Fill ``ex.stats[node]`` with the node's global (G, H) totals."""
+        raise NotImplementedError
+
+    def retire_node(self, ex: "PlanExecutor", node: int) -> None:
+        raise NotImplementedError
+
+    def assemble_leaves(self, ex: "PlanExecutor") -> np.ndarray:
+        raise NotImplementedError
+
+    def label_bytes(self, ex: "PlanExecutor", worker: int) -> int:
+        raise NotImplementedError
+
+    def data_bytes(self, ex: "PlanExecutor") -> int:
+        """Max per-worker dataset memory (storage shard + labels)."""
+        return max(
+            ex.storage.shard_bytes(ex, w) + self.label_bytes(ex, w)
+            for w in range(ex.cluster.num_workers)
+        )
+
+
+class HorizontalPartition(PartitionStrategy):
+    """Each worker owns a contiguous row range (QD1/QD2, Figure 4(a)).
+
+    Workers see all features of their own rows, so node splitting is
+    purely local, but histograms must be aggregated before split finding
+    and node statistics are sums of per-worker partial totals.
+    """
+
+    key = "horizontal"
+
+    def setup(self, ex: "PlanExecutor", binned) -> None:
+        num_workers = ex.cluster.num_workers
+        ex.shards, ex.row_ranges = horizontal_shards(binned, num_workers)
+        # contiguous feature ranges used for reduce-scatter / server shards
+        bounds = np.linspace(0, binned.num_features,
+                             num_workers + 1).astype(np.int64)
+        ex.feature_ranges = [
+            np.arange(bounds[w], bounds[w + 1], dtype=np.int64)
+            for w in range(num_workers)
+        ]
+
+    def reset(self, ex: "PlanExecutor") -> None:
+        ex.indexes = [
+            NodeToInstanceIndex(shard.num_instances)
+            for shard in ex.shards
+        ]
+
+    def worker_grad(self, ex, worker, grad, hess):
+        rows = ex.row_ranges[worker]
+        return grad[rows], hess[rows]
+
+    def worker_index(self, ex, worker):
+        return ex.indexes[worker]
+
+    def gradient_instances(self, ex) -> int:
+        """Each worker computes gradients for its own rows only."""
+        return max(r.size for r in ex.row_ranges)
+
+    def node_count(self, ex, node) -> int:
+        return sum(index.count_of(node) for index in ex.indexes)
+
+    def compute_stats(self, ex, node, grad, hess, clock) -> None:
+        """Global node totals as the sum of per-worker local totals."""
+        total_g = np.zeros(grad.shape[1])
+        total_h = np.zeros(hess.shape[1])
+        for worker in range(ex.cluster.num_workers):
+            local_g, local_h = self.worker_grad(ex, worker, grad, hess)
+            g, h = node_totals(ex.indexes[worker].rows_of(node),
+                               local_g, local_h)
+            total_g += g
+            total_h += h
+        ex.stats[node] = (total_g, total_h)
+
+    def retire_node(self, ex, node) -> None:
+        for index in ex.indexes:
+            index.retire_node(node)
+
+    def assemble_leaves(self, ex) -> np.ndarray:
+        """Global per-instance leaf ids from the worker-local indexes."""
+        leaf = np.empty(ex._binned.num_instances, dtype=np.int32)
+        for worker, index in enumerate(ex.indexes):
+            leaf[ex.row_ranges[worker]] = index.node_of_instance
+        return leaf
+
+    def label_bytes(self, ex, worker) -> int:
+        return ex.shards[worker].labels.nbytes
+
+
+class VerticalPartition(PartitionStrategy):
+    """Each worker owns a column group plus all labels (QD3/QD4).
+
+    Histograms never need aggregation; every worker computes all ``N``
+    gradients, and a single physical index stands in for the per-worker
+    replicas, which never diverge because every worker applies identical
+    placement updates (Section 4.2.2).
+    """
+
+    key = "vertical"
+
+    def setup(self, ex: "PlanExecutor", binned) -> None:
+        num_workers = ex.cluster.num_workers
+        ex.shards, ex.groups = vertical_shards(
+            binned, num_workers, strategy=ex.grouping,
+            seed=ex.cluster.seed,
+        )
+        ex.owner_of_feature = np.empty(binned.num_features, dtype=np.int64)
+        ex.local_of_feature = np.empty(binned.num_features, dtype=np.int64)
+        for worker, group in enumerate(ex.groups):
+            ex.owner_of_feature[group] = worker
+            ex.local_of_feature[group] = np.arange(group.size)
+
+    def reset(self, ex: "PlanExecutor") -> None:
+        ex.index = NodeToInstanceIndex(ex._binned.num_instances)
+
+    def hist_workers(self, ex) -> Sequence[int]:
+        """Skip workers owning no features (W > D)."""
+        return [w for w in range(ex.cluster.num_workers)
+                if ex.groups[w].size > 0]
+
+    def worker_grad(self, ex, worker, grad, hess):
+        """Every worker holds all labels, hence all gradients."""
+        return grad, hess
+
+    def worker_index(self, ex, worker):
+        return ex.index
+
+    def gradient_instances(self, ex) -> int:
+        return ex._binned.num_instances
+
+    def node_count(self, ex, node) -> int:
+        return ex.index.count_of(node)
+
+    def compute_stats(self, ex, node, grad, hess, clock) -> None:
+        """Node totals — computed identically on every worker."""
+        start = time.perf_counter()
+        ex.stats[node] = node_totals(ex.index.rows_of(node), grad, hess)
+        clock.charge_all(time.perf_counter() - start, phase="split-find")
+
+    def retire_node(self, ex, node) -> None:
+        ex.index.retire_node(node)
+
+    def assemble_leaves(self, ex) -> np.ndarray:
+        return ex.index.node_of_instance.copy()
+
+    def label_bytes(self, ex, worker) -> int:
+        return ex._binned.labels.nbytes
+
+
+class ReplicatedPartition(VerticalPartition):
+    """Feature-parallel mode: every worker holds the *full* dataset.
+
+    Histogram work is still divided by column group (so the group
+    structures of :class:`VerticalPartition` apply unchanged), but no
+    placement traffic is ever needed and dataset memory is ``W`` full
+    copies — the Appendix D trade-off.
+    """
+
+    key = "replicated"
+
+    def data_bytes(self, ex) -> int:
+        """Every worker holds the entire dataset."""
+        return ex._binned.binned.nbytes + ex._binned.labels.nbytes
+
+
+# ---------------------------------------------------------------------------
+# Storage layout
+# ---------------------------------------------------------------------------
+
+class StorageLayout:
+    """How a worker materializes its shard, and the kernels that admits."""
+
+    key: str = "abstract"
+
+    def setup(self, ex: "PlanExecutor") -> None:
+        """Materialize the storage representation of every shard."""
+
+    def build_node_hist(self, ex: "PlanExecutor", worker: int, node: int,
+                        rows: np.ndarray, grad: np.ndarray,
+                        hess: np.ndarray,
+                        index: NodeToInstanceIndex) -> Histogram:
+        """Histogram of one node over the worker's stored entries."""
+        raise NotImplementedError
+
+    def build_layer_hists(self, ex: "PlanExecutor", worker: int,
+                          nodes: Sequence[int], grad: np.ndarray,
+                          hess: np.ndarray,
+                          index: NodeToInstanceIndex) -> List[Histogram]:
+        """All node histograms of one layer in a single pass."""
+        raise NotImplementedError(
+            f"{self.key} storage has no level-wise layer kernel; use a "
+            "subtraction-style index plan"
+        )
+
+    def placements(self, ex: "PlanExecutor", worker: int,
+                   index: NodeToInstanceIndex,
+                   splits: Dict[int, SplitInfo]) -> Dict[int, np.ndarray]:
+        """``go_left`` per split node, computed from the worker's shard."""
+        raise NotImplementedError
+
+    def shard_bytes(self, ex: "PlanExecutor", worker: int) -> int:
+        raise NotImplementedError
+
+
+class RowStore(StorageLayout):
+    """CSR shard: rows of (feature, bin) pairs (QD2/QD4)."""
+
+    key = "row"
+
+    def build_node_hist(self, ex, worker, node, rows, grad, hess, index):
+        hist, _ = ex.hist_builder.build_rowstore(
+            ex.shards[worker].binned, rows, grad, hess,
+            ex._binned.num_bins,
+        )
+        return hist
+
+    def placements(self, ex, worker, index, splits):
+        return layer_placements_rowstore(
+            ex.shards[worker].binned, index, splits,
+            search_keys=ex.shards[worker].search_keys(),
+        )
+
+    def shard_bytes(self, ex, worker) -> int:
+        return ex.shards[worker].binned.nbytes
+
+
+class ColumnStore(StorageLayout):
+    """CSC shard: one bin-index array per feature column (QD1/QD3)."""
+
+    key = "column"
+
+    def setup(self, ex: "PlanExecutor") -> None:
+        ex.csc_shards = [shard.csc() for shard in ex.shards]
+
+    def build_node_hist(self, ex, worker, node, rows, grad, hess, index):
+        """The hybrid kernel (Section 5.2.2): per column, linear scan with
+        instance-to-node lookups or binary search of the node's rows,
+        whichever is cheaper."""
+        hist, _, _ = ex.hist_builder.build_colstore_hybrid(
+            ex.csc_shards[worker], rows, index.node_of_instance, node,
+            grad, hess, ex._binned.num_bins,
+        )
+        return hist
+
+    def build_layer_hists(self, ex, worker, nodes, grad, hess, index):
+        slots = index.slot_of_instance(nodes)
+        hists, _ = ex.hist_builder.build_colstore_layer(
+            ex.csc_shards[worker], slots, len(nodes), grad, hess,
+            ex._binned.num_bins,
+        )
+        return hists
+
+    def placements(self, ex, worker, index, splits):
+        return layer_placements_colstore(
+            ex.csc_shards[worker], index, splits,
+        )
+
+    def shard_bytes(self, ex, worker) -> int:
+        return ex.csc_shards[worker].nbytes
+
+
+class BlockifiedRowStore(StorageLayout):
+    """Blockified column group (Figure 9): the post-repartition layout.
+
+    Each shard is wrapped as one shipped :class:`Block`, assembled into a
+    :class:`BlockedColumnGroup` and merged down; kernels run over the
+    merged CSR (the paper's training representation), which holds entry
+    for entry the same data as the plain row store, so trees are
+    bit-identical to QD4's while the memory report reflects the block
+    arrays actually held.
+    """
+
+    key = "blocked-row"
+
+    def setup(self, ex: "PlanExecutor") -> None:
+        ex.blocked_groups = []
+        ex.block_csr = []
+        ex.block_search_keys = []
+        for shard in ex.shards:
+            group = BlockedColumnGroup(
+                [blockify_shard(shard.binned, row_offset=0)],
+                shard.num_features,
+            ).merge(max_blocks=1)
+            csr = group.to_csr()
+            ex.blocked_groups.append(group)
+            ex.block_csr.append(csr)
+            ex.block_search_keys.append(rowstore_search_keys(csr))
+
+    def build_node_hist(self, ex, worker, node, rows, grad, hess, index):
+        hist, _ = ex.hist_builder.build_rowstore(
+            ex.block_csr[worker], rows, grad, hess, ex._binned.num_bins,
+        )
+        return hist
+
+    def placements(self, ex, worker, index, splits):
+        return layer_placements_rowstore(
+            ex.block_csr[worker], index, splits,
+            search_keys=ex.block_search_keys[worker],
+        )
+
+    def shard_bytes(self, ex, worker) -> int:
+        return sum(b.nbytes for b in ex.blocked_groups[worker].blocks)
+
+
+# ---------------------------------------------------------------------------
+# Index plan
+# ---------------------------------------------------------------------------
+
+class IndexPlan:
+    """Which node/instance index drives histogram construction."""
+
+    key: str = "abstract"
+
+    def setup(self, ex: "PlanExecutor") -> None:
+        """One-time structures next to the storage layout."""
+
+    def reset(self, ex: "PlanExecutor") -> None:
+        """Per-tree reset of index-plan-owned structures."""
+
+    def build_layer(self, ex: "PlanExecutor", nodes: Sequence[int],
+                    grad: np.ndarray, hess: np.ndarray,
+                    clock: WorkerClock) -> None:
+        """Fill every worker's histogram store for one layer's nodes."""
+        raise NotImplementedError
+
+    def after_layer(self, ex: "PlanExecutor", nodes: Sequence[int],
+                    split_nodes: Sequence[int],
+                    clock: WorkerClock) -> None:
+        """Post-split maintenance: index reorders, histogram retirement."""
+
+
+class InstanceToNodePlan(IndexPlan):
+    """Level-wise pass keyed by the instance-to-node direction (QD1).
+
+    One scan of *all* stored entries scatters each into the histogram of
+    the node its instance currently occupies, so histogram subtraction
+    cannot skip any data and the layer's histograms are discarded whole.
+    """
+
+    key = "instance-to-node"
+
+    def build_layer(self, ex, nodes, grad, hess, clock) -> None:
+        for worker in ex.partition.hist_workers(ex):
+            local_g, local_h = ex.partition.worker_grad(ex, worker,
+                                                        grad, hess)
+            index = ex.partition.worker_index(ex, worker)
+            start = time.perf_counter()
+            hists = ex.storage.build_layer_hists(ex, worker, nodes,
+                                                 local_g, local_h, index)
+            clock.charge(worker, time.perf_counter() - start)
+            store = ex.stores[worker]
+            for node, hist in zip(nodes, hists):
+                store.put(node, hist)
+
+    def after_layer(self, ex, nodes, split_nodes, clock) -> None:
+        # nothing is retained: the layer's histograms are discarded
+        for store in ex.stores:
+            for node in nodes:
+                store.pop(node)
+
+
+class NodeToInstancePlan(IndexPlan):
+    """Node-to-instance index with histogram subtraction (QD2/QD4).
+
+    The master plans each layer's schema from global node counts
+    (Section 4.2.2): for every sibling pair whose parent histogram is
+    retained, only the smaller child is built and the other is derived.
+    """
+
+    key = "node-to-instance"
+
+    def build_node_hist(self, ex, worker, node, rows, grad, hess, index):
+        return ex.storage.build_node_hist(ex, worker, node, rows,
+                                          grad, hess, index)
+
+    def build_layer(self, ex, nodes, grad, hess, clock) -> None:
+        counts = {
+            node: ex.partition.node_count(ex, node) for node in nodes
+        }
+        have_parent = {
+            (node - 1) // 2 for node in nodes
+            if node > 0 and (node - 1) // 2 in ex.stores[0]
+        } if ex.use_subtraction else set()
+        actions = subtraction_schedule(nodes, counts, have_parent)
+        for worker in ex.partition.hist_workers(ex):
+            local_g, local_h = ex.partition.worker_grad(ex, worker,
+                                                        grad, hess)
+            index = ex.partition.worker_index(ex, worker)
+            store = ex.stores[worker]
+            start = time.perf_counter()
+            for op, node, other in actions:
+                if op == "build":
+                    store.put(node, self.build_node_hist(
+                        ex, worker, node, index.rows_of(node),
+                        local_g, local_h, index))
+                else:  # subtract: node = parent_hist - other(sibling)
+                    parent = (node - 1) // 2
+                    store.put(node, ex.hist_builder.subtract(
+                        store.get(parent), store.get(other)))
+            # parents consumed this layer are no longer needed
+            for op, node, _ in actions:
+                if op == "subtract":
+                    store.pop((node - 1) // 2)
+            clock.charge(worker, time.perf_counter() - start)
+
+    def after_layer(self, ex, nodes, split_nodes, clock) -> None:
+        if not ex.use_subtraction:
+            # parents are never consumed by subtraction: drop them
+            for store in ex.stores:
+                for node in nodes:
+                    store.pop(node)
+
+
+class HybridIndexPlan(NodeToInstancePlan):
+    """The paper's own QD3 plan (Section 5.2.2): subtraction scheduling
+    over the column store's hybrid scan/search kernel."""
+
+    key = "hybrid"
+
+
+class ColumnwiseIndexPlan(NodeToInstancePlan):
+    """Pure Yggdrasil: a per-column node-to-instance index gives free
+    per-node column slices but costs an ``O(nnz)`` reorder of every
+    column at each layer split (Appendix C)."""
+
+    key = "columnwise"
+
+    def reset(self, ex: "PlanExecutor") -> None:
+        if hasattr(ex, "csc_shards"):
+            ex.column_indexes = [
+                ColumnwiseIndex(csc) for csc in ex.csc_shards
+            ]
+
+    def build_node_hist(self, ex, worker, node, rows, grad, hess, index):
+        hist, _ = ex.hist_builder.build_colstore_columnwise(
+            ex.column_indexes[worker], node, grad, hess,
+            ex._binned.num_bins,
+        )
+        return hist
+
+    def after_layer(self, ex, nodes, split_nodes, clock) -> None:
+        if split_nodes:
+            children = [c for n in split_nodes
+                        for c in (2 * n + 1, 2 * n + 2)]
+            for worker, column_index in enumerate(ex.column_indexes):
+                start = time.perf_counter()
+                column_index.update_after_split(
+                    ex.index.node_of_instance, children,
+                )
+                clock.charge(worker, time.perf_counter() - start,
+                             phase="node-split")
+        super().after_layer(ex, nodes, split_nodes, clock)
+
+
+class TwoPhaseIndexPlan(NodeToInstancePlan):
+    """Subtraction scheduling over a blockified group (Figure 9).
+
+    Global instance ids resolve through the two-phase block index
+    (binary-search the block, then offset arithmetic); with blocks merged
+    down the first phase is free and the kernels run over the merged
+    representation.
+    """
+
+    key = "two-phase"
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+class AggregationStrategy:
+    """How local histograms become global split decisions, and how the
+    winning placements reach every replica of the index.
+
+    Each strategy charges its own traffic on the executor's simulated
+    network — histogram collectives, split-info exchanges and placement
+    bitmaps — so per-plan ``comm_bytes`` accounting lives entirely on
+    this axis.
+    """
+
+    key: str = "abstract"
+
+    def validate(self, config: "TrainConfig") -> None:
+        """Reject configurations the pattern cannot serve."""
+
+    def find_splits(self, ex: "PlanExecutor", nodes: Sequence[int],
+                    clock: WorkerClock) -> Dict[int, SplitInfo]:
+        raise NotImplementedError
+
+    def apply_splits(self, ex: "PlanExecutor", tree: Tree,
+                     splits: Dict[int, SplitInfo], grad: np.ndarray,
+                     hess: np.ndarray, active: Set[int],
+                     clock: WorkerClock) -> None:
+        raise NotImplementedError
+
+
+class _LocalPlacementMixin:
+    """Shared by the horizontal patterns: every worker knows all features
+    of its own rows, so node splitting is purely local — no placement
+    broadcast is needed."""
+
+    def apply_splits(self, ex, tree, splits, grad, hess, active,
+                     clock) -> None:
+        binned = ex._binned
+        for node, split in splits.items():
+            tree.set_split(node, split,
+                           binned.threshold_of(split.feature, split.bin))
+        for worker, index in enumerate(ex.indexes):
+            start = time.perf_counter()
+            placements = ex.storage.placements(ex, worker, index, splits)
+            for node in splits:
+                left, right = 2 * node + 1, 2 * node + 2
+                index.split_node(node, placements[node], left, right)
+            clock.charge(worker, time.perf_counter() - start,
+                         phase="node-split")
+        for node in splits:
+            left, right = 2 * node + 1, 2 * node + 2
+            ex.partition.compute_stats(ex, left, grad, hess, clock)
+            ex.partition.compute_stats(ex, right, grad, hess, clock)
+            active.discard(node)
+            active.update((left, right))
+
+
+class AllReduceAggregation(_LocalPlacementMixin, AggregationStrategy):
+    """Ring all-reduce per layer; a leader enumerates every split (QD1).
+
+    One all-reduce covers the whole layer (latency paid once); the
+    leader's winning splits are broadcast as compact split infos.
+    """
+
+    key = "all-reduce"
+
+    def find_splits(self, ex, nodes, clock) -> Dict[int, SplitInfo]:
+        aggregated: Dict[int, Histogram] = {}
+        payload = 0
+        for node in nodes:
+            aggregated[node] = allreduce_histograms(
+                [store.get(node) for store in ex.stores], net=None,
+            )
+            payload += aggregated[node].nbytes
+        record_collective(ex.net, "hist-aggregation", payload,
+                          ex.cluster.num_workers, "allreduce")
+        splits: Dict[int, SplitInfo] = {}
+        bins = ex._binned.bins_per_feature
+        start = time.perf_counter()
+        for node in nodes:
+            split = ex._decide_split(
+                aggregated[node], ex.stats[node],
+                ex.partition.node_count(ex, node), bins,
+            )
+            if split is not None:
+                splits[node] = split
+        clock.charge(LEADER, time.perf_counter() - start,
+                     phase="split-find")
+        broadcast_bytes(len(splits) * SPLIT_INFO_BYTES,
+                        ex.cluster.num_workers, ex.net,
+                        kind="split-broadcast")
+        return splits
+
+
+class ReduceScatterAggregation(_LocalPlacementMixin, AggregationStrategy):
+    """Reduce-scatter over contiguous feature slices (QD2, LightGBM).
+
+    Each worker ends up owning the aggregated slice of ``D / W``
+    features, proposes a local best split, and the global best is
+    elected from the exchange.
+    """
+
+    key = "reduce-scatter"
+
+    #: collective pattern used to aggregate one layer's histograms
+    pattern = "reducescatter"
+
+    def aggregate_node(self, ex, node: int) -> List[Histogram]:
+        """Aggregated feature-slice histograms, one per worker.
+
+        The traffic is charged per layer in :meth:`find_splits` (real
+        systems batch a layer's histograms into one collective)."""
+        return reduce_scatter_histograms(
+            [store.get(node) for store in ex.stores],
+            ex.feature_ranges, net=None,
+        )
+
+    def find_splits(self, ex, nodes, clock) -> Dict[int, SplitInfo]:
+        splits: Dict[int, SplitInfo] = {}
+        bins = ex._binned.bins_per_feature
+        payload = 0
+        for node in nodes:
+            payload += ex.stores[0].get(node).nbytes
+            slices = self.aggregate_node(ex, node)
+            best: Optional[SplitInfo] = None
+            for worker, piece in enumerate(slices):
+                features = ex.feature_ranges[worker]
+                if features.size == 0:
+                    continue
+                start = time.perf_counter()
+                candidate = ex._decide_split(
+                    piece, ex.stats[node],
+                    ex.partition.node_count(ex, node), bins[features],
+                )
+                clock.charge(worker, time.perf_counter() - start,
+                             phase="split-find")
+                if candidate is not None:
+                    candidate = SplitInfo(
+                        feature=candidate.feature + int(features[0]),
+                        bin=candidate.bin,
+                        default_left=candidate.default_left,
+                        gain=candidate.gain,
+                    )
+                    if candidate.better_than(best):
+                        best = candidate
+            if best is not None:
+                splits[node] = best
+        record_collective(ex.net, "hist-aggregation", payload,
+                          ex.cluster.num_workers, self.pattern)
+        exchange_split_infos(len(nodes), ex.cluster.num_workers, ex.net)
+        return splits
+
+
+class ParameterServerAggregation(ReduceScatterAggregation):
+    """Parameter-server push/pull (QD2-PS, the DimBoost architecture).
+
+    Histograms are pushed whole to ``W`` range-sharded servers; split
+    finding happens server-side on the aggregated slices, with none of
+    reduce-scatter's savings.
+    """
+
+    key = "parameter-server"
+
+    pattern = "ps"
+
+    def validate(self, config: "TrainConfig") -> None:
+        if config.objective == "multiclass":
+            raise ValueError(
+                "parameter-server aggregation (DimBoost) does not "
+                "support multi-classification (Section 5.3 of the paper)"
+            )
+
+    def aggregate_node(self, ex, node: int) -> List[Histogram]:
+        total = ps_push_histograms(
+            [store.get(node) for store in ex.stores], net=None,
+        )
+        grad_view = total.grad_view()
+        hess_view = total.hess_view()
+        slices: List[Histogram] = []
+        for features in ex.feature_ranges:
+            piece = Histogram(max(features.size, 1), total.num_bins,
+                              total.gradient_dim)
+            if features.size:
+                piece.grad[:] = grad_view[features].reshape(
+                    piece.grad.shape)
+                piece.hess[:] = hess_view[features].reshape(
+                    piece.hess.shape)
+            slices.append(piece)
+        return slices
+
+
+class _LocalElectionMixin:
+    """Vertical split finding: every worker proposes a local best for its
+    feature group and the global best is elected — no histogram ever
+    crosses the wire (Section 2.2.1, Figure 4(b))."""
+
+    def find_splits(self, ex, nodes, clock) -> Dict[int, SplitInfo]:
+        splits: Dict[int, SplitInfo] = {}
+        bins = ex._binned.bins_per_feature
+        for node in nodes:
+            best: Optional[SplitInfo] = None
+            for worker, group in enumerate(ex.groups):
+                if group.size == 0:
+                    continue
+                start = time.perf_counter()
+                candidate = ex._decide_split(
+                    ex.stores[worker].get(node), ex.stats[node],
+                    ex.index.count_of(node), bins[group],
+                )
+                clock.charge(worker, time.perf_counter() - start,
+                             phase="split-find")
+                if candidate is not None:
+                    candidate = SplitInfo(
+                        feature=int(group[candidate.feature]),
+                        bin=candidate.bin,
+                        default_left=candidate.default_left,
+                        gain=candidate.gain,
+                    )
+                    if candidate.better_than(best):
+                        best = candidate
+            if best is not None:
+                splits[node] = best
+        # one exchange covers every node of the layer
+        exchange_split_infos(len(nodes), ex.cluster.num_workers, ex.net)
+        return splits
+
+    def _owner_splits(self, ex, tree, splits):
+        """Record splits in the tree and group them by owning worker,
+        with feature ids translated to shard-local ids — each owner then
+        computes all of its placements in ONE pass over its shard
+        (the Section 3.2.4 node-splitting bound)."""
+        binned = ex._binned
+        by_owner: Dict[int, Dict[int, SplitInfo]] = {}
+        for node, split in sorted(splits.items()):
+            tree.set_split(node, split,
+                           binned.threshold_of(split.feature, split.bin))
+            owner = int(ex.owner_of_feature[split.feature])
+            local = SplitInfo(
+                feature=int(ex.local_of_feature[split.feature]),
+                bin=split.bin,
+                default_left=split.default_left,
+                gain=split.gain,
+            )
+            by_owner.setdefault(owner, {})[node] = local
+        return by_owner
+
+
+class BitmapBroadcastAggregation(_LocalElectionMixin,
+                                 AggregationStrategy):
+    """Local election + placement bitmap broadcast (QD3/QD4).
+
+    Only the owner of a winning feature can compute the resulting
+    instance placement; it broadcasts the decision as a one-bit-per-
+    instance bitmap covering every split node of the layer
+    (Section 4.2.2, at most ``ceil(N/8)`` bytes per node).
+    """
+
+    key = "bitmap-broadcast"
+
+    def apply_splits(self, ex, tree, splits, grad, hess, active,
+                     clock) -> None:
+        by_owner = self._owner_splits(ex, tree, splits)
+        placements: Dict[int, np.ndarray] = {}
+        payloads: Dict[int, bytes] = {}
+        bitmap_bytes = 0
+        for owner, local_splits in by_owner.items():
+            start = time.perf_counter()
+            owner_placements = ex.storage.placements(
+                ex, owner, ex.index, local_splits)
+            for node, go_left in owner_placements.items():
+                payloads[node] = encode_placement(go_left)
+                bitmap_bytes += bitmap_nbytes(go_left.size)
+            clock.charge(owner, time.perf_counter() - start,
+                         phase="node-split")
+            placements.update(owner_placements)
+        # one placement broadcast per layer (Section 3.1.3)
+        broadcast_bytes(bitmap_bytes, ex.cluster.num_workers, ex.net,
+                        kind="placement-bitmap")
+        start = time.perf_counter()
+        for node in sorted(splits):
+            decoded = decode_placement(payloads[node],
+                                       placements[node].size)
+            left, right = 2 * node + 1, 2 * node + 2
+            ex.index.split_node(node, decoded, left, right)
+        clock.charge_all(time.perf_counter() - start, phase="node-split")
+        for node in sorted(splits):
+            left, right = 2 * node + 1, 2 * node + 2
+            ex.partition.compute_stats(ex, left, grad, hess, clock)
+            ex.partition.compute_stats(ex, right, grad, hess, clock)
+            active.discard(node)
+            active.update((left, right))
+
+
+class LocalApplyAggregation(_LocalElectionMixin, AggregationStrategy):
+    """Local election, local node splitting everywhere (QD2-FP).
+
+    Every worker owns all the data, so the owner's placement is
+    recomputed locally on each replica; the computation is charged to
+    all workers and no placement traffic hits the network (Appendix D).
+    """
+
+    key = "local"
+
+    def apply_splits(self, ex, tree, splits, grad, hess, active,
+                     clock) -> None:
+        by_owner = self._owner_splits(ex, tree, splits)
+        start = time.perf_counter()
+        placements: Dict[int, np.ndarray] = {}
+        for owner, local_splits in by_owner.items():
+            placements.update(
+                ex.storage.placements(ex, owner, ex.index, local_splits)
+            )
+        for node in sorted(splits):
+            left, right = 2 * node + 1, 2 * node + 2
+            ex.index.split_node(node, placements[node], left, right)
+        clock.charge_all(time.perf_counter() - start, phase="node-split")
+        for node in sorted(splits):
+            left, right = 2 * node + 1, 2 * node + 2
+            ex.partition.compute_stats(ex, left, grad, hess, clock)
+            ex.partition.compute_stats(ex, right, grad, hess, clock)
+            active.discard(node)
+            active.update((left, right))
+
+
+# ---------------------------------------------------------------------------
+# Strategy registries (one singleton per key)
+# ---------------------------------------------------------------------------
+
+def _registry(*strategies) -> Dict[str, object]:
+    return {s.key: s for s in (cls() for cls in strategies)}
+
+
+PARTITIONS: Dict[str, PartitionStrategy] = _registry(
+    HorizontalPartition, VerticalPartition, ReplicatedPartition,
+)
+
+STORAGES: Dict[str, StorageLayout] = _registry(
+    RowStore, ColumnStore, BlockifiedRowStore,
+)
+
+INDEX_PLANS: Dict[str, IndexPlan] = _registry(
+    InstanceToNodePlan, NodeToInstancePlan, HybridIndexPlan,
+    ColumnwiseIndexPlan, TwoPhaseIndexPlan,
+)
+
+AGGREGATIONS: Dict[str, AggregationStrategy] = _registry(
+    AllReduceAggregation, ReduceScatterAggregation,
+    ParameterServerAggregation, BitmapBroadcastAggregation,
+    LocalApplyAggregation,
+)

@@ -1,67 +1,24 @@
 """QD4 — Vero: vertical partitioning + row-store (the paper's system).
 
-Each worker keeps its column group as CSR rows of
-``(group-local feature id, bin index)`` pairs, uses a node-to-instance
-index with histogram subtraction for construction, finds local best splits
-without any histogram aggregation, and broadcasts instance placements as
-bitmaps (Section 4.2).  ``fit_from_raw`` runs the full five-step
+Since the ExecutionPlan refactor this is a thin alias over the ``vero``
+registry entry: vertical column groups kept as CSR rows of
+``(group-local feature id, bin index)`` pairs, a node-to-instance index
+with histogram subtraction, local best splits without any histogram
+aggregation, and placement bitmap broadcast (Section 4.2).
+``fit_from_raw`` (inherited from the executor) runs the full five-step
 horizontal-to-vertical transformation first (Section 4.2.1).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
-import numpy as np
-
-from ..cluster.transform import TransformResult, horizontal_to_vertical
-from ..core.histogram import Histogram
-from ..core.placement import layer_placements_rowstore
-from ..core.split import SplitInfo
-from ..data.dataset import Dataset
-from .base import DistTrainResult
-from .vertical import VerticalGBDT
+from ..config import ClusterConfig, TrainConfig
+from .executor import PlanExecutor
+from .plans import get_plan
 
 
-class Vero(VerticalGBDT):
+class Vero(PlanExecutor):
     """Vertical + row-store distributed GBDT."""
 
-    quadrant = "QD4"
-    name = "vero"
-
-    def _build_node_hist(
-        self, worker: int, node: int, rows: np.ndarray,
-        grad: np.ndarray, hess: np.ndarray,
-    ) -> Histogram:
-        hist, _ = self.hist_builder.build_rowstore(
-            self.shards[worker].binned, rows, grad, hess,
-            self._binned.num_bins,
-        )
-        return hist
-
-    def _owner_placements(self, worker, splits):
-        return layer_placements_rowstore(
-            self.shards[worker].binned, self.index, splits,
-            search_keys=self.shards[worker].search_keys(),
-        )
-
-    # -- end-to-end path including the transformation -------------------------------
-
-    def fit_from_raw(
-        self,
-        train: Dataset,
-        valid: Optional[Dataset] = None,
-        num_trees: Optional[int] = None,
-    ) -> Tuple[DistTrainResult, TransformResult]:
-        """Transform a horizontally partitioned raw dataset, then train.
-
-        The transformation's sketch-based candidate splits are used for
-        training (so its compression is lossless with respect to the
-        model, as Section 4.2.1 argues); its cost report rides along.
-        """
-        transform = horizontal_to_vertical(
-            train, self.cluster, self.config.num_candidates, net=self.net,
-        )
-        result = self.fit(transform.global_binned, valid=valid,
-                          num_trees=num_trees)
-        return result, transform
+    def __init__(self, config: TrainConfig,
+                 cluster: ClusterConfig) -> None:
+        super().__init__(config, cluster, get_plan("vero"))

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import TrainConfig, make_classification
+from repro import make_classification
 from repro.core.gbdt import build_histograms_with_subtraction
 from repro.core.histogram import (ColumnwiseIndex, build_colstore_hybrid,
                                   build_colstore_layer, build_rowstore)

@@ -6,11 +6,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import GBDT, TrainConfig, make_classification
+from repro import GBDT, TrainConfig
 from repro.core.exact import (ExactGBDT, PresortedColumns,
                               exact_best_split, grow_tree_exact)
 from repro.core.loss import make_loss
-from repro.data.dataset import Dataset, bin_dataset
+from repro.data.dataset import Dataset
 from repro.data.matrix import CSRMatrix
 
 

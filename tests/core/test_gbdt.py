@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import GBDT, TrainConfig, make_classification, make_regression
 from repro.core.gbdt import grow_tree

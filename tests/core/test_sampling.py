@@ -10,7 +10,6 @@ from repro.core.gbdt import grow_tree
 from repro.core.importance import feature_importance
 from repro.core.indexing import NodeToInstanceIndex
 from repro.core.loss import make_loss
-from repro.data.dataset import bin_dataset
 
 
 class TestIndexSubset:

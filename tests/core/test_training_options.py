@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import GBDT, TrainConfig, make_classification
+from repro import GBDT, TrainConfig
 from repro.core.gbdt import metric_improved
 
 

@@ -1,0 +1,40 @@
+"""Frozen pre-refactor quadrant implementations (the PR-1 tree).
+
+These are verbatim copies (imports rewritten to absolute) of the
+inheritance-tree quadrant trainers that preceded the ExecutionPlan
+refactor.  They serve exactly one purpose: the equivalence suite trains
+every registry plan against its legacy counterpart and asserts
+bit-identical trees and identical communication accounting, proving the
+refactor changed the architecture and nothing else.
+
+Do not edit these files; they are a golden reference, not library code.
+"""
+
+from __future__ import annotations
+
+from .feature_parallel import LightGBMFeatureParallel
+from .qd1 import XGBoostStyle
+from .qd2 import DimBoostStyle, LightGBMStyle
+from .qd3 import YggdrasilStyle
+from .vero import Vero
+
+#: registry plan key -> (legacy class, constructor kwargs)
+LEGACY_SYSTEMS = {
+    "qd1": (XGBoostStyle, {}),
+    "qd2": (LightGBMStyle, {}),
+    "qd2-ps": (DimBoostStyle, {}),
+    "qd2-fp": (LightGBMFeatureParallel, {}),
+    "qd3": (YggdrasilStyle, {"index_mode": "hybrid"}),
+    "qd3-pure": (YggdrasilStyle, {"index_mode": "columnwise"}),
+    "vero": (Vero, {}),
+}
+
+__all__ = [
+    "LEGACY_SYSTEMS",
+    "DimBoostStyle",
+    "LightGBMFeatureParallel",
+    "LightGBMStyle",
+    "Vero",
+    "XGBoostStyle",
+    "YggdrasilStyle",
+]

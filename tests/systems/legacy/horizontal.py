@@ -14,13 +14,13 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from ..cluster.partition import horizontal_shards
-from ..core.histogram import node_totals
-from ..core.indexing import NodeToInstanceIndex
-from ..core.split import SplitInfo
-from ..core.tree import Tree, layer_nodes
-from ..data.dataset import BinnedDataset
-from .base import DistributedGBDT, HistogramStore, WorkerClock
+from repro.cluster.partition import horizontal_shards
+from repro.core.histogram import node_totals
+from repro.core.indexing import NodeToInstanceIndex
+from repro.core.split import SplitInfo
+from repro.core.tree import Tree, layer_nodes
+from repro.data.dataset import BinnedDataset
+from repro.systems.base import DistributedGBDT, HistogramStore, WorkerClock
 
 
 class HorizontalGBDT(DistributedGBDT):

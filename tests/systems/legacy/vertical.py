@@ -16,16 +16,16 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..cluster.bitmap import (bitmap_nbytes, decode_placement,
+from repro.cluster.bitmap import (bitmap_nbytes, decode_placement,
                               encode_placement)
-from ..cluster.comm import broadcast_bytes, exchange_split_infos
-from ..cluster.partition import vertical_shards
-from ..core.histogram import Histogram, node_totals
-from ..core.indexing import NodeToInstanceIndex
-from ..core.split import SplitInfo
-from ..core.tree import Tree, layer_nodes
-from ..data.dataset import BinnedDataset
-from .base import DistributedGBDT, HistogramStore, WorkerClock, \
+from repro.cluster.comm import broadcast_bytes, exchange_split_infos
+from repro.cluster.partition import vertical_shards
+from repro.core.histogram import Histogram, node_totals
+from repro.core.indexing import NodeToInstanceIndex
+from repro.core.split import SplitInfo
+from repro.core.tree import Tree, layer_nodes
+from repro.data.dataset import BinnedDataset
+from repro.systems.base import DistributedGBDT, HistogramStore, WorkerClock, \
     subtraction_schedule
 
 

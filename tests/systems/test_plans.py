@@ -1,0 +1,295 @@
+"""ExecutionPlan architecture tests.
+
+Three layers of protection around the strategy refactor:
+
+* every registry plan trains bit-identical trees to the single-process
+  oracle and to the frozen pre-refactor quadrant classes
+  (``tests/systems/legacy``) on fixed seeds, with *exactly* the same
+  communication and memory accounting;
+* per-plan ``comm_bytes`` stays inside the Section 3 cost-model bounds
+  used by the quadrant tests;
+* the advisor's recommendation is directly executable
+  (``recommend(...).plan.build(...).fit(...)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (ClusterConfig, GBDT, TrainConfig, get_plan,
+                   make_classification, make_system, plan_keys)
+from repro.bench.harness import run_point
+from repro.config import NetworkModel
+from repro.data.dataset import bin_dataset
+from repro.systems import PLANS, PlanExecutor
+from repro.systems.advisor import recommend
+from repro.systems.costmodel import (WorkloadShape,
+                                     horizontal_comm_bytes_per_tree,
+                                     vertical_comm_bytes_per_tree)
+from repro.systems.plans import ExecutionPlan
+from tests.systems.legacy import LEGACY_SYSTEMS
+
+#: every registry plan with a pre-refactor equivalent
+ALL_PLANS = ["qd1", "qd2", "qd2-ps", "qd2-fp", "qd3", "qd3-pure", "vero"]
+VERTICAL_PLANS = ["qd2-fp", "qd3", "qd3-pure", "vero", "qd4-blocked"]
+HORIZONTAL_PLANS = ["qd1", "qd2", "qd2-ps"]
+
+
+def full_signature(tree):
+    """Exact structural summary: splits, thresholds, raw leaf weights."""
+    parts = []
+    for nid in sorted(tree.nodes):
+        node = tree.nodes[nid]
+        if node.is_leaf:
+            parts.append(
+                (nid, "leaf",
+                 tuple(np.asarray(node.weight).ravel().tolist()))
+            )
+        else:
+            parts.append((nid, node.split.feature, node.split.bin,
+                          node.split.default_left,
+                          float(node.threshold)))
+    return tuple(parts)
+
+
+def ensemble_signature(ensemble):
+    return tuple(full_signature(tree) for tree in ensemble.trees)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = make_classification(500, 40, density=0.4, seed=97)
+    cfg = TrainConfig(num_trees=3, num_layers=5, num_candidates=8)
+    binned = bin_dataset(dataset, cfg.num_candidates)
+    return cfg, dataset, binned
+
+
+@pytest.fixture(scope="module")
+def multiclass_workload():
+    dataset = make_classification(360, 25, num_classes=4, density=0.5,
+                                  seed=11)
+    cfg = TrainConfig(num_trees=2, num_layers=4, num_candidates=6,
+                      objective="multiclass", num_classes=4)
+    binned = bin_dataset(dataset, cfg.num_candidates)
+    return cfg, dataset, binned
+
+
+class TestRegistry:
+    def test_all_quadrants_have_plans(self):
+        assert set(ALL_PLANS) <= set(plan_keys())
+
+    def test_aliases_resolve(self):
+        assert get_plan("xgboost") is PLANS["qd1"]
+        assert get_plan("LIGHTGBM") is PLANS["qd2"]
+        assert get_plan("dimboost") is PLANS["qd2-ps"]
+        assert get_plan("qd4") is PLANS["vero"]
+
+    def test_unknown_plan_raises(self):
+        with pytest.raises(KeyError, match="unknown plan"):
+            get_plan("qd9")
+
+    def test_axes_are_validated(self):
+        with pytest.raises(ValueError, match="unknown storage"):
+            ExecutionPlan(key="x", quadrant="QD0", name="x",
+                          description="", partition="horizontal",
+                          storage="diagonal", index="node-to-instance",
+                          aggregation="all-reduce")
+
+    def test_replace_derives_custom_plan(self):
+        custom = get_plan("vero").replace(key="custom",
+                                          storage="blocked-row",
+                                          index="two-phase")
+        assert custom.axes()["storage"] == "blocked-row"
+        assert get_plan("vero").storage == "row"  # original untouched
+
+    def test_build_returns_executor(self, workload):
+        cfg, _, _ = workload
+        system = get_plan("qd2").build(cfg, ClusterConfig(num_workers=3))
+        assert isinstance(system, PlanExecutor)
+        assert system.quadrant == "QD2"
+
+    def test_make_system_accepts_plan_keys(self, workload):
+        cfg, _, _ = workload
+        system = make_system("qd3-pure", cfg, ClusterConfig(3))
+        assert system.plan.key == "qd3-pure"
+
+    def test_ps_plan_rejects_multiclass(self, multiclass_workload):
+        cfg, _, _ = multiclass_workload
+        with pytest.raises(ValueError, match="multi-classification"):
+            get_plan("qd2-ps").build(cfg, ClusterConfig(3))
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("key", VERTICAL_PLANS)
+    def test_vertical_plans_match_oracle(self, key, workload):
+        cfg, dataset, binned = workload
+        oracle = GBDT(cfg).fit(dataset, binned=binned)
+        dist = get_plan(key).build(cfg, ClusterConfig(4)).fit(binned)
+        assert ensemble_signature(oracle.ensemble) == \
+            ensemble_signature(dist.ensemble)
+
+    @pytest.mark.parametrize("key", ALL_PLANS)
+    def test_every_plan_matches_oracle_single_worker(self, key,
+                                                     workload):
+        cfg, dataset, binned = workload
+        oracle = GBDT(cfg).fit(dataset, binned=binned)
+        dist = get_plan(key).build(cfg, ClusterConfig(1)).fit(binned)
+        assert ensemble_signature(oracle.ensemble) == \
+            ensemble_signature(dist.ensemble)
+
+
+class TestLegacyEquivalence:
+    """The frozen pre-refactor classes are the golden reference: same
+    trees, same traffic, same memory — the refactor changed the
+    architecture and nothing else."""
+
+    @pytest.mark.parametrize("key", ALL_PLANS)
+    def test_plan_matches_legacy_bit_for_bit(self, key, workload):
+        cfg, _, binned = workload
+        legacy_cls, kwargs = LEGACY_SYSTEMS[key]
+        legacy = legacy_cls(cfg, ClusterConfig(4), **kwargs).fit(binned)
+        plan = get_plan(key).build(cfg, ClusterConfig(4)).fit(binned)
+        assert ensemble_signature(legacy.ensemble) == \
+            ensemble_signature(plan.ensemble)
+        assert legacy.comm.total_bytes == plan.comm.total_bytes
+        assert legacy.memory.data_bytes == plan.memory.data_bytes
+        assert legacy.memory.histogram_bytes == \
+            plan.memory.histogram_bytes
+
+    @pytest.mark.parametrize("key", ALL_PLANS)
+    def test_per_kind_traffic_matches_legacy(self, key, workload):
+        cfg, _, binned = workload
+        legacy_cls, kwargs = LEGACY_SYSTEMS[key]
+        legacy = legacy_cls(cfg, ClusterConfig(5), **kwargs).fit(binned)
+        plan = get_plan(key).build(cfg, ClusterConfig(5)).fit(binned)
+        assert legacy.comm.bytes_by_kind == plan.comm.bytes_by_kind
+
+    def test_multiclass_plans_match_legacy(self, multiclass_workload):
+        cfg, _, binned = multiclass_workload
+        for key in ("qd1", "qd2", "qd3", "vero"):
+            legacy_cls, kwargs = LEGACY_SYSTEMS[key]
+            legacy = legacy_cls(cfg, ClusterConfig(3), **kwargs) \
+                .fit(binned)
+            plan = get_plan(key).build(cfg, ClusterConfig(3)).fit(binned)
+            assert ensemble_signature(legacy.ensemble) == \
+                ensemble_signature(plan.ensemble), key
+            assert legacy.comm.total_bytes == plan.comm.total_bytes, key
+
+    def test_blocked_plan_matches_vero_trees(self, workload):
+        """The blockified layout holds the same entries, so qd4-blocked
+        must reproduce Vero's trees and traffic exactly."""
+        cfg, _, binned = workload
+        vero = get_plan("vero").build(cfg, ClusterConfig(4)).fit(binned)
+        blocked = get_plan("qd4-blocked").build(cfg, ClusterConfig(4)) \
+            .fit(binned)
+        assert ensemble_signature(vero.ensemble) == \
+            ensemble_signature(blocked.ensemble)
+        assert vero.comm.total_bytes == blocked.comm.total_bytes
+
+
+class TestCommAccounting:
+    """Per-plan comm_bytes stays inside the Section 3 cost model, with
+    the same tolerances as tests/systems/test_quadrants.py."""
+
+    @pytest.mark.parametrize("key", HORIZONTAL_PLANS)
+    def test_horizontal_plans_bounded_by_model(self, key):
+        dataset = make_classification(800, 500, density=0.3, seed=5)
+        cfg = TrainConfig(num_trees=2, num_layers=4, num_candidates=8)
+        binned = bin_dataset(dataset, cfg.num_candidates)
+        result = get_plan(key).build(cfg, ClusterConfig(4)).fit(binned)
+        shape = WorkloadShape(800, 500, 4, cfg.num_layers,
+                              cfg.num_candidates)
+        per_tree = result.comm.total_bytes / 2
+        # the Section 3.1.3 model counts Sizehist * W per node — exactly
+        # the PS push; a ring all-reduce moves 2(W-1)/W of that, and a
+        # reduce-scatter (W-1)/W (always below the model)
+        bound = horizontal_comm_bytes_per_tree(shape)
+        if key == "qd1":
+            bound *= 2 * (4 - 1) / 4
+        assert per_tree <= bound * 1.05
+
+    @pytest.mark.parametrize("key", ["qd3", "qd3-pure", "vero",
+                                     "qd4-blocked"])
+    def test_vertical_plans_bounded_by_model(self, key):
+        dataset = make_classification(3000, 100, density=0.3, seed=6)
+        cfg = TrainConfig(num_trees=2, num_layers=4, num_candidates=8)
+        binned = bin_dataset(dataset, cfg.num_candidates)
+        result = get_plan(key).build(cfg, ClusterConfig(4)).fit(binned)
+        shape = WorkloadShape(3000, 100, 4, cfg.num_layers,
+                              cfg.num_candidates)
+        per_tree = result.comm.total_bytes / 2
+        # bitmap traffic plus small split exchanges
+        assert per_tree <= vertical_comm_bytes_per_tree(shape) * 1.2
+
+    def test_feature_parallel_moves_only_split_infos(self, workload):
+        cfg, _, binned = workload
+        result = get_plan("qd2-fp").build(cfg, ClusterConfig(4)) \
+            .fit(binned)
+        kinds = set(result.comm.bytes_by_kind)
+        assert kinds <= {"split-exchange"}
+
+
+class TestAdvisorPlans:
+    def test_recommendation_is_executable(self, workload):
+        cfg, _, binned = workload
+        shape = WorkloadShape(
+            num_instances=binned.num_instances,
+            num_features=binned.num_features,
+            num_workers=4, num_layers=cfg.num_layers,
+            num_candidates=cfg.num_candidates,
+        )
+        rec = recommend(shape, avg_nnz_per_instance=16.0,
+                        network=NetworkModel.laboratory())
+        assert rec.plan is PLANS[rec.plan_key]
+        system = rec.plan.build(cfg, ClusterConfig(4))
+        result = system.fit(binned)
+        assert len(result.ensemble.trees) == cfg.num_trees
+
+    def test_every_estimate_names_a_plan(self):
+        shape = WorkloadShape(2_000_000, 30_000, 8, 8, 20, 5)
+        rec = recommend(shape, avg_nnz_per_instance=100.0)
+        for est in rec.ranking:
+            assert est.plan_key in PLANS
+            assert est.plan.quadrant == est.quadrant
+
+
+class TestHarnessPlans:
+    def test_run_point_accepts_plan_object(self, workload):
+        cfg, _, binned = workload
+        custom = get_plan("vero").replace(key="custom-blocked",
+                                          storage="blocked-row",
+                                          index="two-phase")
+        point = run_point(custom, binned, cfg, ClusterConfig(3),
+                          num_trees=2, label="custom")
+        assert point.system == "custom-blocked"
+        assert point.comp_seconds > 0
+
+    def test_run_point_accepts_plan_key(self, workload):
+        cfg, _, binned = workload
+        point = run_point("qd3-pure", binned, cfg, ClusterConfig(3),
+                          num_trees=2)
+        assert point.system == "qd3-pure"
+
+
+class TestLateOverrides:
+    """Instance-attribute knobs the ablation benchmarks rely on keep
+    working after the refactor."""
+
+    def test_grouping_override(self, workload):
+        cfg, _, binned = workload
+        signatures = []
+        for strategy in ("greedy", "round-robin", "hash"):
+            system = get_plan("vero").build(cfg, ClusterConfig(3))
+            system.grouping = strategy
+            signatures.append(
+                ensemble_signature(system.fit(binned).ensemble))
+        assert signatures[0] == signatures[1] == signatures[2]
+
+    def test_subtraction_toggle_same_trees(self, workload):
+        cfg, _, binned = workload
+        on = get_plan("qd2").build(cfg, ClusterConfig(3))
+        off = get_plan("qd2").build(cfg, ClusterConfig(3))
+        off.use_subtraction = False
+        assert ensemble_signature(on.fit(binned).ensemble) == \
+            ensemble_signature(off.fit(binned).ensemble)

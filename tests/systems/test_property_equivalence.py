@@ -4,7 +4,6 @@ sizes, the vertical quadrants reproduce the oracle's trees exactly."""
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -33,7 +32,8 @@ def tree_signature(tree):
     num_layers=st.integers(2, 5),
     num_classes=st.sampled_from([2, 3]),
     density=st.floats(0.1, 0.9),
-    system=st.sampled_from(["qd3", "qd4", "lightgbm-fp"]),
+    system=st.sampled_from(["qd3", "qd3-pure", "qd4", "qd4-blocked",
+                            "lightgbm-fp"]),
 )
 def test_property_vertical_equals_oracle(seed, num_workers, num_layers,
                                          num_classes, density, system):
