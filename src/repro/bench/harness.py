@@ -5,7 +5,7 @@ breakdown, convergence curves) and aggregate them into figure-ready rows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -44,6 +44,7 @@ def run_point(
     num_trees: Optional[int] = None,
     valid: Optional[Dataset] = None,
     label: str = "",
+    faults: Optional[str] = None,
     **system_kwargs,
 ) -> ExperimentPoint:
     """Train and condense the run into one :class:`ExperimentPoint`.
@@ -55,7 +56,11 @@ def run_point(
     registry entry.  ``num_trees`` overrides ``config.num_trees`` so
     sweeps can measure a few trees of an otherwise long schedule (the
     paper reports mean and standard deviation of per-tree time).
+    ``faults`` overrides ``config.faults`` so a sweep can measure the
+    same workload fault-free and under a seeded fault schedule.
     """
+    if faults is not None:
+        config = replace(config, faults=faults)
     if isinstance(system_name, ExecutionPlan):
         if system_kwargs:
             raise TypeError(

@@ -71,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--valid-fraction", type=float, default=0.2)
     train.add_argument("--model-out", help="save the model as JSON")
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--faults", default="", metavar="SEED:SPEC",
+                       help="seeded fault schedule, e.g. "
+                            "'42:crash=2,drop=0.05,timeout=0.01' "
+                            "(keys: crash, drop, timeout, backoff, "
+                            "timeout-s, retries)")
 
     predict = sub.add_parser("predict",
                              help="score a libsvm file with a model")
@@ -91,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--candidates", type=int, default=20)
     advise.add_argument("--bandwidth-gbps", type=float, default=1.0)
     advise.add_argument("--memory-budget-gb", type=float)
+    advise.add_argument("--crash-rate", type=float, default=0.0,
+                        help="expected worker crashes per tree; adds an "
+                             "expected-recovery-cost term to the ranking")
 
     return parser
 
@@ -130,6 +138,7 @@ def cmd_train(args) -> int:
         objective="multiclass" if multiclass else "binary",
         num_classes=num_classes if multiclass else 2,
         plan=args.plan or "",
+        faults=args.faults,
     )
     cluster = ClusterConfig(
         num_workers=args.workers,
@@ -152,6 +161,24 @@ def cmd_train(args) -> int:
     print(f"peak worker memory: data="
           f"{result.memory.data_bytes / 1e6:.2f}MB histograms="
           f"{result.memory.histogram_bytes / 1e6:.2f}MB")
+    injector = getattr(system, "injector", None)
+    if injector is not None:
+        counters = injector.counters
+        fault_kinds = [
+            (kind, nbytes)
+            for kind, nbytes in sorted(result.comm.bytes_by_kind.items())
+            if kind.startswith(("retry:", "recovery:"))
+        ]
+        fault_mb = sum(nbytes for _, nbytes in fault_kinds) / 1e6
+        print(f"faults injected ({injector.plan.describe()}): "
+              f"crashes={counters.crashes} drops={counters.drops} "
+              f"timeouts={counters.timeouts}; "
+              f"retry/recovery traffic={fault_mb:.2f}MB")
+        for record in system.recovery_log:
+            print(f"  recovered worker {record.worker} (tree "
+                  f"{record.tree}, layer {record.layer}) via "
+                  f"{record.policy}: "
+                  f"{record.restore_bytes / 1e6:.2f}MB restored")
     if args.model_out:
         save_ensemble(result.ensemble, args.model_out,
                       objective=config.objective,
@@ -201,6 +228,7 @@ def cmd_advise(args) -> int:
         shape, args.nnz_per_instance,
         network=NetworkModel(bandwidth_gbps=args.bandwidth_gbps),
         memory_budget_bytes=budget,
+        crash_rate=args.crash_rate,
     )
     print(f"recommendation: {rec.best.quadrant} "
           f"({rec.best.description})")

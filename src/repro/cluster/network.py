@@ -8,14 +8,30 @@ decomposition in :mod:`repro.cluster.comm`.  The paper's communication
 results (Figures 10, 12; Section 3.1.3) are functions of exactly these two
 quantities — bytes on the wire and the bandwidth they cross — so the shape
 of every result is preserved.
+
+Fault semantics
+---------------
+With a :class:`~repro.cluster.faults.FaultInjector` attached, every
+recorded operation may be transiently dropped or timed out: each injected
+failure re-sends the payload after an exponential backoff, and the extra
+bytes and seconds land under a dedicated ``retry:<kind>`` ledger entry.
+Crash recovery uses :meth:`SimulatedNetwork.relabel_since` to reclassify a
+rolled-back attempt's traffic under ``recovery:<kind>``.  The unprefixed
+kinds therefore always total exactly what a fault-free run records — the
+invariant the chaos suite pins.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..config import NetworkModel
+from .faults import FAULT_PREFIXES
+
+if TYPE_CHECKING:
+    from .faults import FaultInjector
 
 
 @dataclass
@@ -37,35 +53,67 @@ class CommStats:
     seconds_by_kind: Dict[str, float] = field(default_factory=dict)
 
     def minus(self, earlier: "CommStats") -> "CommStats":
-        """Traffic between two snapshots."""
+        """Traffic between two snapshots.
+
+        Zero-delta kinds are omitted; a kind present only in ``earlier``
+        (possible after :meth:`SimulatedNetwork.relabel_since` moved its
+        traffic to a recovery kind) surfaces as a negative delta rather
+        than vanishing silently.
+        """
         delta = CommStats(
             total_bytes=self.total_bytes - earlier.total_bytes,
             total_seconds=self.total_seconds - earlier.total_seconds,
         )
-        for key, val in self.bytes_by_kind.items():
-            prev = earlier.bytes_by_kind.get(key, 0)
-            if val - prev:
-                delta.bytes_by_kind[key] = val - prev
-        for key, val in self.seconds_by_kind.items():
-            prev = earlier.seconds_by_kind.get(key, 0.0)
-            if val - prev:
-                delta.seconds_by_kind[key] = val - prev
+        for key in self.bytes_by_kind.keys() | earlier.bytes_by_kind.keys():
+            diff = self.bytes_by_kind.get(key, 0) \
+                - earlier.bytes_by_kind.get(key, 0)
+            if diff:
+                delta.bytes_by_kind[key] = diff
+        for key in (self.seconds_by_kind.keys()
+                    | earlier.seconds_by_kind.keys()):
+            diff = self.seconds_by_kind.get(key, 0.0) \
+                - earlier.seconds_by_kind.get(key, 0.0)
+            if diff:
+                delta.seconds_by_kind[key] = diff
         return delta
 
 
 class SimulatedNetwork:
     """Byte/time ledger of the simulated cluster interconnect."""
 
-    def __init__(self, model: NetworkModel) -> None:
+    def __init__(self, model: NetworkModel,
+                 injector: "Optional[FaultInjector]" = None) -> None:
         self.model = model
+        self.injector = injector
         self.records: List[CommRecord] = []
         self._stats = CommStats()
 
     def record(self, kind: str, nbytes: int, seconds: float) -> None:
-        """Account one already-costed operation."""
+        """Account one already-costed operation.
+
+        With a fault injector attached, transient drops/timeouts of the
+        operation are charged first (one ``retry:<kind>`` record per
+        failed attempt: re-sent payload plus detection delay and
+        exponential backoff), then the successful send.
+        """
+        if not math.isfinite(nbytes):
+            raise ValueError(f"bytes must be finite, got {nbytes}")
         nbytes = int(nbytes)
+        if not math.isfinite(seconds):
+            raise ValueError(f"seconds must be finite, got {seconds}")
         if nbytes < 0 or seconds < 0:
             raise ValueError("bytes and seconds must be >= 0")
+        injector = self.injector
+        if injector is not None and not kind.startswith(FAULT_PREFIXES):
+            faults = injector.transport_faults(kind)
+            for attempt, fault in enumerate(faults):
+                self._commit(
+                    "retry:" + kind, nbytes,
+                    injector.retry_seconds(attempt, seconds, fault),
+                )
+        self._commit(kind, nbytes, seconds)
+
+    def _commit(self, kind: str, nbytes: int, seconds: float) -> None:
         self.records.append(CommRecord(kind, nbytes, seconds))
         self._stats.total_bytes += nbytes
         self._stats.total_seconds += seconds
@@ -81,6 +129,47 @@ class SimulatedNetwork:
         seconds = self.model.transfer_time(nbytes)
         self.record(kind, nbytes, seconds)
         return seconds
+
+    def mark(self) -> int:
+        """Position in the ledger, for a later :meth:`relabel_since`."""
+        return len(self.records)
+
+    def relabel_since(self, mark: int, prefix: str) -> None:
+        """Reclassify every record from ``mark`` on under ``prefix``.
+
+        Crash recovery rolls a tree back and replays it; the aborted
+        attempt's traffic was real but produced no model state, so it is
+        moved under ``prefix + kind`` (e.g. ``recovery:hist-aggregation``)
+        and the per-kind totals are rebuilt from the ledger.  Totals stay
+        unchanged; only the classification moves.
+        """
+        if not 0 <= mark <= len(self.records):
+            raise ValueError(
+                f"mark {mark} outside the ledger (0..{len(self.records)})"
+            )
+        changed = False
+        for rec in self.records[mark:]:
+            if not rec.kind.startswith(FAULT_PREFIXES):
+                rec.kind = prefix + rec.kind
+                changed = True
+        if changed:
+            self._rebuild_stats()
+
+    def _rebuild_stats(self) -> None:
+        """Recompute per-kind totals by one in-order pass over the ledger
+        (same summation order as incremental recording, so the floats of
+        unaffected kinds are bit-identical)."""
+        stats = CommStats()
+        for rec in self.records:
+            stats.total_bytes += rec.nbytes
+            stats.total_seconds += rec.seconds
+            stats.bytes_by_kind[rec.kind] = (
+                stats.bytes_by_kind.get(rec.kind, 0) + rec.nbytes
+            )
+            stats.seconds_by_kind[rec.kind] = (
+                stats.seconds_by_kind.get(rec.kind, 0.0) + rec.seconds
+            )
+        self._stats = stats
 
     def snapshot(self) -> CommStats:
         """Copy of the running totals (cheap; safe to diff later)."""

@@ -69,6 +69,12 @@ class TrainConfig:
         harness).  Resolved against :data:`repro.systems.plans.PLANS`
         at build time, not here — the config layer stays free of system
         imports.
+    faults:
+        Seeded fault schedule as a ``SEED:SPEC`` string (e.g.
+        ``"42:crash=2,drop=0.05"``); the empty string trains fault-free.
+        Parsed by :meth:`repro.cluster.faults.FaultPlan.parse` at build
+        time, not here — like ``plan``, the config layer stays free of
+        cluster imports.
     """
 
     num_trees: int = 100
@@ -88,6 +94,7 @@ class TrainConfig:
     colsample: float = 1.0
     seed: int = 0
     plan: str = ""
+    faults: str = ""
 
     def __post_init__(self) -> None:
         if self.num_trees < 1:

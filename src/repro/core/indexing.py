@@ -54,6 +54,29 @@ class NodeToInstanceIndex:
         self._rows: Dict[int, np.ndarray] = {root: root_rows}
         self.updates = 0  # instances moved, for cost assertions
 
+    @classmethod
+    def from_assignment(cls,
+                        node_of_instance: np.ndarray
+                        ) -> "NodeToInstanceIndex":
+        """Rebuild an index from a saved instance-to-node assignment.
+
+        This is the checkpoint-restore path: a crashed worker's index is
+        reconstructed from the ``node_of_instance`` array captured in a
+        :class:`~repro.systems.executor.TreeCheckpoint`.  Rows carrying
+        ``-1`` (untracked) stay untracked.
+        """
+        assignment = np.asarray(node_of_instance, dtype=np.int32)
+        index = cls(assignment.size)
+        index.node_of_instance = assignment.copy()
+        order = np.argsort(assignment, kind="stable")
+        nodes, starts = np.unique(assignment[order], return_index=True)
+        bounds = np.append(starts, assignment.size)
+        index._rows = {
+            int(node): order[bounds[i]:bounds[i + 1]].astype(np.int64)
+            for i, node in enumerate(nodes) if node >= 0
+        }
+        return index
+
     # -- queries -------------------------------------------------------------
 
     def rows_of(self, node: int) -> np.ndarray:

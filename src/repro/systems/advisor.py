@@ -22,8 +22,9 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..config import NetworkModel
-from .costmodel import (WorkloadShape, horizontal_comm_bytes_per_tree,
-                        sizehist_bytes, vertical_comm_bytes_per_tree)
+from .costmodel import (WorkloadShape, expected_recovery_seconds_per_tree,
+                        horizontal_comm_bytes_per_tree, sizehist_bytes,
+                        vertical_comm_bytes_per_tree)
 from .plans import ExecutionPlan, get_plan
 
 #: key-value pair accesses per second of one worker core; the default is
@@ -56,10 +57,13 @@ class QuadrantEstimate:
     comp_seconds: float
     comm_seconds: float
     histogram_memory_bytes: float
+    #: expected crash-recovery cost per tree (0 on a fault-free cluster)
+    recovery_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
-        return self.comp_seconds + self.comm_seconds
+        return self.comp_seconds + self.comm_seconds \
+            + self.recovery_seconds
 
     @property
     def description(self) -> str:
@@ -126,8 +130,16 @@ def estimate(
     avg_nnz_per_instance: float,
     network: NetworkModel = None,
     scan_rate: float = DEFAULT_SCAN_RATE,
+    crash_rate: float = 0.0,
 ) -> Dict[str, QuadrantEstimate]:
-    """Per-tree cost estimates of all four quadrants."""
+    """Per-tree cost estimates of all four quadrants.
+
+    ``crash_rate`` (expected worker crashes per tree) adds each
+    quadrant's expected recovery cost: horizontal quadrants pay a
+    reshard of the crashed worker's rows, vertical quadrants a rollback
+    of shared placement state, both plus half a tree of replayed
+    aggregation traffic (DESIGN.md §9).
+    """
     if avg_nnz_per_instance <= 0:
         raise ValueError("avg_nnz_per_instance must be > 0")
     if scan_rate <= 0:
@@ -158,6 +170,10 @@ def estimate(
             comm_seconds=horizontal_comm if horizontal else vertical_comm,
             histogram_memory_bytes=hist_mem_h if horizontal else
             hist_mem_v,
+            recovery_seconds=expected_recovery_seconds_per_tree(
+                shape, avg_nnz_per_instance, bps, crash_rate,
+                vertical=not horizontal,
+            ),
         )
     return out
 
@@ -168,14 +184,19 @@ def recommend(
     network: NetworkModel = None,
     memory_budget_bytes: float = None,
     scan_rate: float = DEFAULT_SCAN_RATE,
+    crash_rate: float = 0.0,
 ) -> Recommendation:
     """Pick the cheapest feasible quadrant for a workload.
 
     ``memory_budget_bytes`` (per worker, histograms only) disqualifies
     quadrants whose predicted histogram memory exceeds it — the paper's
     OOM scenario for horizontal partitioning on multi-class data.
+    ``crash_rate`` folds an expected-recovery-cost term into the
+    ranking, so an unreliable cluster can tip the verdict toward the
+    quadrant with the cheaper recovery policy.
     """
-    estimates = estimate(shape, avg_nnz_per_instance, network, scan_rate)
+    estimates = estimate(shape, avg_nnz_per_instance, network, scan_rate,
+                         crash_rate=crash_rate)
     reasons: List[str] = []
     feasible = []
     for est in estimates.values():
@@ -200,6 +221,12 @@ def recommend(
         f"{best.comp_seconds * 1e3:.1f} ms compute + "
         f"{best.comm_seconds * 1e3:.1f} ms network per tree"
     )
+    if crash_rate > 0:
+        reasons.append(
+            f"expected recovery cost at {crash_rate:g} crashes/tree: "
+            f"{best.recovery_seconds * 1e3:.1f} ms per tree "
+            f"({best.quadrant} recovery policy)"
+        )
     if len(ranking) > 1:
         runner = ranking[1]
         reasons.append(

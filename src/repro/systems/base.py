@@ -283,6 +283,8 @@ class DistributedGBDT:
         self._binned = binned
         self._setup(binned)
         ensemble = TreeEnsemble(self.loss.num_outputs, cfg.learning_rate)
+        # checkpointing reads the committed model through this reference
+        self._ensemble = ensemble
         result = DistTrainResult(ensemble)
         scores = self.loss.init_scores(binned.num_instances)
         valid_scores = (

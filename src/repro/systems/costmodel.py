@@ -95,3 +95,62 @@ def node_splitting_cost(shape: WorkloadShape, vertical: bool) -> float:
     if vertical:
         return float(shape.num_instances)
     return shape.num_instances / shape.num_workers
+
+
+def checkpoint_state_bytes(shape: WorkloadShape, vertical: bool) -> int:
+    """Placement state one crash recovery must restore (DESIGN.md §9).
+
+    The tree checkpoint carries a 4-byte node id per tracked row.  A
+    horizontal worker tracks only its ``N / W`` shard rows; a vertical
+    worker's (shared) index covers all ``N`` rows.
+    """
+    if vertical:
+        return 4 * shape.num_instances
+    return 4 * ((shape.num_instances + shape.num_workers - 1)
+                // shape.num_workers)
+
+
+def recovery_restore_bytes(shape: WorkloadShape,
+                           avg_nnz_per_instance: float,
+                           vertical: bool) -> float:
+    """Expected wire bytes to restore state after one worker crash.
+
+    Horizontal partitioning reshards: the crashed worker's binned rows
+    (8 bytes per stored entry, the row-store convention) plus its
+    checkpointed placement state are re-shipped.  Vertical partitioning
+    rolls back: the restarted owner reloads its irreplaceable column
+    shard from local storage, so only the checkpoint state crosses the
+    wire.
+    """
+    state = checkpoint_state_bytes(shape, vertical)
+    if vertical:
+        return float(state)
+    shard_entries = (shape.num_instances * avg_nnz_per_instance
+                     / shape.num_workers)
+    return 8.0 * shard_entries + state
+
+
+def expected_recovery_seconds_per_tree(
+    shape: WorkloadShape,
+    avg_nnz_per_instance: float,
+    bytes_per_second: float,
+    crash_rate: float,
+    vertical: bool,
+) -> float:
+    """Expected per-tree recovery cost under ``crash_rate`` crashes/tree.
+
+    A crash at a uniformly random layer boundary wastes half the
+    interrupted tree's aggregation traffic (the rolled-back attempt is
+    replayed), on top of the policy's restore transfer — the term the
+    advisor adds to each quadrant's per-tree estimate.
+    """
+    if crash_rate < 0:
+        raise ValueError(f"crash_rate must be >= 0, got {crash_rate}")
+    if crash_rate == 0:
+        return 0.0
+    restore = recovery_restore_bytes(shape, avg_nnz_per_instance,
+                                     vertical)
+    tree_bytes = (vertical_comm_bytes_per_tree(shape) if vertical
+                  else horizontal_comm_bytes_per_tree(shape))
+    replayed = 0.5 * tree_bytes / shape.num_workers
+    return crash_rate * (restore + replayed) / bytes_per_second

@@ -17,16 +17,35 @@ lives on the executor; the strategies are stateless singletons from
 :mod:`~repro.systems.strategies`.  Which strategies compose is described
 by an :class:`~repro.systems.plans.ExecutionPlan`, so a new system
 variant is a registry entry, not a subclass.
+
+Fault tolerance
+---------------
+With ``TrainConfig.faults`` set, the executor checkpoints trainer state
+at every tree boundary (:class:`TreeCheckpoint`: model, row-placement
+state, network snapshot) and consults the seeded
+:class:`~repro.cluster.faults.FaultInjector` at every layer boundary.  A
+scheduled worker crash aborts the tree: the aborted attempt's traffic is
+reclassified under ``recovery:<kind>``, the aggregation strategy's
+recovery policy charges the restore traffic (``recovery:reshard`` /
+``recovery:replicate`` / ``recovery:checkpoint``), state is restored
+from the checkpoint, and the tree replays.  Replay is deterministic, so
+the final model is bit-identical to the fault-free run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
 
+from ..cluster.comm import SPLIT_INFO_BYTES
+from ..cluster.faults import (CrashEvent, FaultInjector, FaultPlan,
+                              RECOVERY_PREFIX)
+from ..cluster.network import CommStats
 from ..cluster.transform import TransformResult, horizontal_to_vertical
 from ..config import ClusterConfig, TrainConfig
+from ..core.indexing import NodeToInstanceIndex
 from ..core.tree import Tree, layer_nodes
 from ..data.dataset import BinnedDataset, Dataset
 from .base import DistributedGBDT, DistTrainResult, HistogramStore, \
@@ -35,6 +54,57 @@ from .strategies import AGGREGATIONS, INDEX_PLANS, PARTITIONS, STORAGES
 
 if TYPE_CHECKING:
     from .plans import ExecutionPlan
+
+
+class WorkerCrashError(RuntimeError):
+    """Raised at a layer boundary when a scheduled worker crash fires."""
+
+    def __init__(self, event: CrashEvent) -> None:
+        super().__init__(
+            f"worker {event.worker} crashed at tree {event.tree}, "
+            f"layer boundary {event.layer}"
+        )
+        self.event = event
+
+
+@dataclass(frozen=True)
+class TreeCheckpoint:
+    """Trainer state at one tree boundary, sufficient to replay the tree.
+
+    ``index_state`` holds one ``node_of_instance`` snapshot per physical
+    index replica (one per worker for horizontal plans, a single shared
+    one for vertical plans); ``model_bytes`` is the serialized size of
+    the boosted trees committed so far; ``network_snapshot`` pins the
+    traffic ledger at the boundary, so recovery can tell lost work from
+    committed work.
+    """
+
+    tree_index: int
+    model_bytes: int
+    index_state: Tuple[np.ndarray, ...]
+    network_snapshot: CommStats
+
+    @property
+    def state_bytes(self) -> int:
+        """Bytes of placement state a full restore must ship."""
+        return sum(arr.nbytes for arr in self.index_state)
+
+    def worker_state_bytes(self, worker: int) -> int:
+        """Placement-state bytes of one worker's index replica."""
+        if len(self.index_state) == 1:
+            return self.index_state[0].nbytes
+        return self.index_state[worker].nbytes
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One absorbed crash: where it hit and what the recovery shipped."""
+
+    tree: int
+    layer: int
+    worker: int
+    policy: str
+    restore_bytes: int
 
 
 class PlanExecutor(DistributedGBDT):
@@ -53,6 +123,19 @@ class PlanExecutor(DistributedGBDT):
         self.name = plan.name
         #: column grouping strategy (Section 4.2.3); ablations override
         self.grouping = "greedy"
+        #: seeded fault schedule; ``None`` trains fault-free
+        self.injector: Optional[FaultInjector] = None
+        #: absorbed crashes, in firing order
+        self.recovery_log: List[RecoveryRecord] = []
+        self.last_checkpoint: Optional[TreeCheckpoint] = None
+        if config.faults:
+            fault_plan = FaultPlan.parse(config.faults)
+            if fault_plan.active:
+                self.injector = FaultInjector(
+                    fault_plan, cluster.num_workers, config.num_trees,
+                    config.num_layers,
+                )
+                self.net.injector = self.injector
 
     # -- state management --------------------------------------------------------
 
@@ -64,6 +147,7 @@ class PlanExecutor(DistributedGBDT):
         ]
         self.storage.setup(self)
         self.index_plan.setup(self)
+        self._trees_trained = 0
         self._reset_tree_state()
 
     def _reset_tree_state(self) -> None:
@@ -77,13 +161,38 @@ class PlanExecutor(DistributedGBDT):
 
     def _train_tree(self, grad: np.ndarray, hess: np.ndarray,
                     clock: WorkerClock) -> Tuple[Tree, np.ndarray]:
-        cfg = self.config
+        tree_index = self._trees_trained
         self._reset_tree_state()
+        if self.injector is None:
+            result = self._grow_tree(tree_index, grad, hess, clock)
+        else:
+            checkpoint = self._take_checkpoint(tree_index)
+            self.last_checkpoint = checkpoint
+            while True:
+                attempt_mark = self.net.mark()
+                try:
+                    result = self._grow_tree(tree_index, grad, hess,
+                                             clock)
+                    break
+                except WorkerCrashError as crash:
+                    self._recover(crash.event, checkpoint, attempt_mark,
+                                  clock)
+        self._trees_trained += 1
+        return result
+
+    def _grow_tree(self, tree_index: int, grad: np.ndarray,
+                   hess: np.ndarray,
+                   clock: WorkerClock) -> Tuple[Tree, np.ndarray]:
+        cfg = self.config
         tree = Tree(cfg.num_layers, grad.shape[1])
         self.partition.compute_stats(self, 0, grad, hess, clock)
         active: Set[int] = {0}
 
         for layer in range(cfg.num_layers - 1):
+            if self.injector is not None:
+                event = self.injector.maybe_crash(tree_index, layer)
+                if event is not None:
+                    raise WorkerCrashError(event)
             nodes = [n for n in layer_nodes(layer) if n in active]
             if not nodes:
                 break
@@ -99,6 +208,98 @@ class PlanExecutor(DistributedGBDT):
         for node in sorted(active):
             self._finalize_leaf(tree, node, active)
         return tree, self.partition.assemble_leaves(self)
+
+    # -- checkpointing and crash recovery ------------------------------------------
+
+    def _take_checkpoint(self, tree_index: int) -> TreeCheckpoint:
+        """Snapshot trainer state at the tree boundary (post-reset)."""
+        if self.partition.key == "horizontal":
+            index_state = tuple(
+                index.node_of_instance.copy() for index in self.indexes
+            )
+        else:
+            index_state = (self.index.node_of_instance.copy(),)
+        return TreeCheckpoint(
+            tree_index=tree_index,
+            model_bytes=self._model_state_bytes(),
+            index_state=index_state,
+            network_snapshot=self.net.snapshot(),
+        )
+
+    def _restore_checkpoint(self, checkpoint: TreeCheckpoint) -> None:
+        """Rebuild per-tree state from the checkpoint's snapshots."""
+        self._reset_tree_state()
+        if self.partition.key == "horizontal":
+            self.indexes = [
+                NodeToInstanceIndex.from_assignment(arr)
+                for arr in checkpoint.index_state
+            ]
+        else:
+            self.index = NodeToInstanceIndex.from_assignment(
+                checkpoint.index_state[0]
+            )
+
+    def _recover(self, event: CrashEvent, checkpoint: TreeCheckpoint,
+                 attempt_mark: int, clock: WorkerClock) -> None:
+        """Absorb one worker crash and prepare the tree replay.
+
+        The aborted attempt's traffic is reclassified under
+        ``recovery:<kind>`` (it was real wire traffic that produced no
+        committed state), then the aggregation strategy's recovery
+        policy charges the restore path:
+
+        * ``reshard`` — the crashed worker's row shard plus labels are
+          re-shipped from durable storage (``recovery:reshard``) and its
+          checkpointed state follows (``recovery:checkpoint``);
+        * ``replicate`` — a surviving peer streams its full replica
+          (``recovery:replicate``) plus the checkpoint state;
+        * ``rollback`` — the column shard is irreplaceable without its
+          owner, so only the checkpoint state crosses the wire while
+          the restarted owner reloads its shard locally.
+        """
+        net = self.net
+        net.relabel_since(attempt_mark, RECOVERY_PREFIX)
+        policy = self.aggregation.recovery_policy
+        restore_bytes = (checkpoint.model_bytes
+                         + checkpoint.worker_state_bytes(event.worker))
+        if policy == "reshard":
+            data_bytes = (
+                self.storage.shard_bytes(self, event.worker)
+                + self.partition.label_bytes(self, event.worker)
+            )
+            net.transfer("recovery:reshard", data_bytes)
+            restore_bytes += data_bytes
+        elif policy == "replicate":
+            data_bytes = (self._binned.binned.nbytes
+                          + self._binned.labels.nbytes)
+            net.transfer("recovery:replicate", data_bytes)
+            restore_bytes += data_bytes
+        net.transfer(
+            "recovery:checkpoint",
+            checkpoint.model_bytes
+            + checkpoint.worker_state_bytes(event.worker),
+        )
+        self.recovery_log.append(RecoveryRecord(
+            tree=event.tree, layer=event.layer, worker=event.worker,
+            policy=policy, restore_bytes=restore_bytes,
+        ))
+        self._restore_checkpoint(checkpoint)
+
+    def _model_state_bytes(self) -> int:
+        """Serialized size of the trees committed so far (checkpoint
+        payload): one split record per internal node, one weight vector
+        per leaf."""
+        ensemble = getattr(self, "_ensemble", None)
+        if ensemble is None:
+            return 0
+        total = 0
+        for tree in ensemble.trees:
+            for node in tree.nodes.values():
+                if node.is_leaf:
+                    total += 8 * self.config.gradient_dim
+                else:
+                    total += SPLIT_INFO_BYTES
+        return total
 
     def _finalize_leaf(self, tree: Tree, node: int,
                        active: Set[int]) -> None:

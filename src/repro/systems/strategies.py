@@ -590,6 +590,20 @@ class AggregationStrategy:
 
     key: str = "abstract"
 
+    #: how a crashed worker is brought back (see DESIGN.md §9):
+    #: ``"reshard"`` — the horizontal patterns; any row shard can be
+    #: re-shipped from durable storage, so the crashed worker is restored
+    #: from the tree checkpoint plus a reshard of its rows.
+    #: ``"rollback"`` — the vertical broadcast pattern; a column shard is
+    #: irreplaceable without its owner, so the whole tree rolls back to
+    #: the last checkpoint before the replacement rejoins.
+    #: ``"replicate"`` — the feature-parallel pattern; every peer holds
+    #: the full dataset, so the replacement copies a replica from any
+    #: survivor.
+    #: All three replay the interrupted tree from its checkpoint; the
+    #: policy decides what restore traffic is charged.
+    recovery_policy: str = "rollback"
+
     def validate(self, config: "TrainConfig") -> None:
         """Reject configurations the pattern cannot serve."""
 
@@ -640,6 +654,8 @@ class AllReduceAggregation(_LocalPlacementMixin, AggregationStrategy):
 
     key = "all-reduce"
 
+    recovery_policy = "reshard"
+
     def find_splits(self, ex, nodes, clock) -> Dict[int, SplitInfo]:
         aggregated: Dict[int, Histogram] = {}
         payload = 0
@@ -677,6 +693,8 @@ class ReduceScatterAggregation(_LocalPlacementMixin, AggregationStrategy):
     """
 
     key = "reduce-scatter"
+
+    recovery_policy = "reshard"
 
     #: collective pattern used to aggregate one layer's histograms
     pattern = "reducescatter"
@@ -833,6 +851,8 @@ class BitmapBroadcastAggregation(_LocalElectionMixin,
 
     key = "bitmap-broadcast"
 
+    recovery_policy = "rollback"
+
     def apply_splits(self, ex, tree, splits, grad, hess, active,
                      clock) -> None:
         by_owner = self._owner_splits(ex, tree, splits)
@@ -876,6 +896,8 @@ class LocalApplyAggregation(_LocalElectionMixin, AggregationStrategy):
     """
 
     key = "local"
+
+    recovery_policy = "replicate"
 
     def apply_splits(self, ex, tree, splits, grad, hess, active,
                      clock) -> None:

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
-from repro.cluster.network import SimulatedNetwork
+from repro.cluster.network import CommStats, SimulatedNetwork
 from repro.config import NetworkModel
 
 
@@ -71,3 +73,99 @@ class TestSimulatedNetwork:
         net = SimulatedNetwork(NetworkModel())
         with pytest.raises(ValueError):
             net.record("x", -1, 0.0)
+        with pytest.raises(ValueError):
+            net.record("x", 1, -0.1)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite_seconds(self, bad):
+        net = SimulatedNetwork(NetworkModel())
+        with pytest.raises(ValueError, match="finite"):
+            net.record("x", 1, bad)
+        assert net.records == [] and net.total_seconds == 0.0
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite_bytes(self, bad):
+        net = SimulatedNetwork(NetworkModel())
+        with pytest.raises(ValueError, match="finite"):
+            net.record("x", bad, 0.1)
+        assert net.records == [] and net.total_bytes == 0
+
+    def test_relabel_since_moves_kinds_not_totals(self):
+        net = SimulatedNetwork(NetworkModel())
+        net.record("a", 100, 1.0)
+        mark = net.mark()
+        net.record("a", 40, 0.4)
+        net.record("b", 10, 0.1)
+        net.relabel_since(mark, "recovery:")
+        assert net.total_bytes == 150
+        assert net.total_seconds == pytest.approx(1.5)
+        assert net.snapshot().bytes_by_kind == {
+            "a": 100, "recovery:a": 40, "recovery:b": 10,
+        }
+
+    def test_relabel_since_skips_fault_kinds(self):
+        net = SimulatedNetwork(NetworkModel())
+        mark = net.mark()
+        net.record("retry:a", 5, 0.05)
+        net.record("a", 10, 0.1)
+        net.relabel_since(mark, "recovery:")
+        assert net.snapshot().bytes_by_kind == {
+            "retry:a": 5, "recovery:a": 10,
+        }
+
+    def test_relabel_since_validates_mark(self):
+        net = SimulatedNetwork(NetworkModel())
+        with pytest.raises(ValueError, match="ledger"):
+            net.relabel_since(3, "recovery:")
+        with pytest.raises(ValueError, match="ledger"):
+            net.relabel_since(-1, "recovery:")
+
+
+class TestCommStats:
+    def test_minus_omits_zero_delta_kinds(self):
+        later = CommStats(total_bytes=30, total_seconds=0.3,
+                          bytes_by_kind={"a": 10, "b": 20},
+                          seconds_by_kind={"a": 0.1, "b": 0.2})
+        earlier = CommStats(total_bytes=10, total_seconds=0.1,
+                            bytes_by_kind={"a": 10},
+                            seconds_by_kind={"a": 0.1})
+        delta = later.minus(earlier)
+        assert delta.total_bytes == 20
+        assert delta.bytes_by_kind == {"b": 20}
+        assert delta.seconds_by_kind == {"b": pytest.approx(0.2)}
+
+    def test_minus_surfaces_kind_only_in_earlier(self):
+        # relabel_since can move a kind's traffic away entirely; the
+        # delta must report it as negative, not silently drop it
+        later = CommStats(total_bytes=5, total_seconds=0.05,
+                          bytes_by_kind={"recovery:a": 5},
+                          seconds_by_kind={"recovery:a": 0.05})
+        earlier = CommStats(total_bytes=5, total_seconds=0.05,
+                            bytes_by_kind={"a": 5},
+                            seconds_by_kind={"a": 0.05})
+        delta = later.minus(earlier)
+        assert delta.total_bytes == 0
+        assert delta.bytes_by_kind == {"a": -5, "recovery:a": 5}
+
+    def test_minus_of_self_is_empty(self):
+        stats = CommStats(total_bytes=7, total_seconds=0.7,
+                          bytes_by_kind={"a": 7},
+                          seconds_by_kind={"a": 0.7})
+        delta = stats.minus(stats)
+        assert delta.total_bytes == 0
+        assert delta.total_seconds == 0.0
+        assert delta.bytes_by_kind == {}
+        assert delta.seconds_by_kind == {}
+
+    def test_snapshot_isolated_from_later_records(self):
+        net = SimulatedNetwork(NetworkModel())
+        net.record("a", 10, 0.1)
+        snap = net.snapshot()
+        net.record("a", 90, 0.9)
+        net.record("b", 1, 0.01)
+        assert snap.total_bytes == 10
+        assert snap.bytes_by_kind == {"a": 10}
+        assert snap.seconds_by_kind == {"a": pytest.approx(0.1)}
+        # and mutating the snapshot never touches the live ledger
+        snap.bytes_by_kind["c"] = 99
+        assert "c" not in net.snapshot().bytes_by_kind

@@ -81,6 +81,46 @@ class TestHistogramPool:
             pool.release(Histogram(2, 2, 1))
         assert pool.retained == 2
 
+    def test_interleaved_stress_never_aliases_live_buffers(self):
+        """Seeded storm of acquire/release across mixed shapes: a live
+        buffer must never be handed out twice, sentinel contents must
+        survive other traffic, and the pool stays within its cap."""
+        pool = HistogramPool(max_retained=8)
+        rng = np.random.default_rng(20260807)
+        shapes = [(2, 3, 1), (2, 3, 2), (4, 2, 1)]
+        live = {}  # id(hist) -> (hist, shape, sentinel)
+        for step in range(600):
+            if live and (rng.random() < 0.45 or len(live) > 32):
+                key = rng.choice(list(live))
+                hist, shape, sentinel = live.pop(key)
+                # the sentinel written at acquire time is intact: no
+                # other live acquire ever aliased this buffer
+                assert np.all(hist.grad == sentinel), \
+                    f"step {step}: buffer clobbered while live"
+                assert np.all(hist.hess == -sentinel)
+                pool.release(hist)
+            else:
+                shape = shapes[rng.integers(len(shapes))]
+                hist = pool.acquire(*shape)
+                assert id(hist) not in live, \
+                    f"step {step}: live buffer handed out twice"
+                assert (hist.num_features, hist.num_bins,
+                        hist.gradient_dim) == shape
+                # recycled buffers come back zeroed
+                assert np.all(hist.grad == 0.0)
+                assert np.all(hist.hess == 0.0)
+                sentinel = float(step + 1)
+                hist.grad[:] = sentinel
+                hist.hess[:] = -sentinel
+                live[id(hist)] = (hist, shape, sentinel)
+            assert pool.retained <= pool.max_retained
+        # drain: every survivor still holds its own sentinel
+        for hist, _, sentinel in live.values():
+            assert np.all(hist.grad == sentinel)
+        # every acquire was either a recycle hit or a fresh allocation
+        assert pool.hits + pool.misses > 0
+        assert pool.hits > 0 and pool.misses > 0
+
 
 class TestBuilderReuse:
     def test_recycled_kernel_runs_carry_no_stale_state(self, rng):

@@ -79,6 +79,27 @@ class TestTrainPredict:
         np.testing.assert_allclose(values.sum(axis=1), 1.0, atol=1e-4)
 
 
+class TestFaultyTrain:
+    def test_train_with_faults_reports_recovery(self, capsys):
+        assert main([
+            "train", "--catalog", "higgs", "--scale", "0.02",
+            "--system", "qd2", "--trees", "3", "--layers", "4",
+            "--workers", "3", "--faults", "42:crash=1,drop=0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "seed=42" in out
+        assert "retry/recovery traffic=" in out
+
+    def test_malformed_faults_spec_rejected(self):
+        with pytest.raises(ValueError, match="fault spec"):
+            main([
+                "train", "--catalog", "higgs", "--scale", "0.02",
+                "--system", "qd2", "--trees", "1", "--layers", "3",
+                "--faults", "not-a-spec",
+            ])
+
+
 class TestAdvise:
     def test_high_dim_recommends_vero(self, capsys):
         assert main([
@@ -97,6 +118,14 @@ class TestAdvise:
         ]) == 0
         out = capsys.readouterr().out
         assert "excluded" in out
+
+    def test_crash_rate_adds_recovery_reason(self, capsys):
+        assert main([
+            "advise", "--instances", "1000000", "--features", "1000",
+            "--nnz-per-instance", "100", "--crash-rate", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recovery" in out
 
 
 class TestParser:
