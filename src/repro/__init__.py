@@ -19,6 +19,10 @@ Public API
   problem): pick a quadrant from workload shape + environment.
 - :func:`save_ensemble` / :func:`load_ensemble`,
   :func:`feature_importance` — model persistence and introspection.
+- :func:`compile_ensemble`, :class:`ModelRegistry`,
+  :class:`MicroBatcher`, :class:`ReplicaSet` — the serving subsystem:
+  compiled batch inference, versioned hot-swap, replicated serving over
+  the simulated cluster.
 """
 
 from .config import ClusterConfig, NetworkModel, TrainConfig
@@ -33,6 +37,9 @@ from .data.dataset import BinnedDataset, Dataset, bin_dataset
 from .data.io import read_libsvm, write_libsvm
 from .data.synthetic import make_classification, make_regression
 from .cluster.transform import horizontal_to_vertical
+from .serve import (BatchPolicy, CompiledEnsemble, MicroBatcher,
+                    ModelRegistry, ModelServer, ReplicaSet,
+                    compile_ensemble, synthetic_trace)
 from .systems import (DimBoostStyle, DistTrainResult, ExecutionPlan,
                       LightGBMStyle, LightGBMFeatureParallel, PLANS,
                       PlanExecutor, Vero, XGBoostStyle, YggdrasilStyle,
@@ -42,7 +49,15 @@ from .systems.costmodel import WorkloadShape
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchPolicy",
     "BinnedDataset",
+    "CompiledEnsemble",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelServer",
+    "ReplicaSet",
+    "compile_ensemble",
+    "synthetic_trace",
     "ExactGBDT",
     "cross_validate",
     "WorkloadShape",

@@ -1,11 +1,16 @@
 """Command-line interface.
 
-Four subcommands cover the everyday workflows:
+Five subcommands cover the everyday workflows:
 
 * ``repro datagen`` — generate a synthetic or catalog dataset to libsvm;
 * ``repro train``   — train any quadrant system on a libsvm file or a
   catalog surrogate, optionally saving the model;
-* ``repro predict`` — score a libsvm file with a saved model;
+* ``repro predict`` — score a libsvm file with a saved model (served
+  through the compiled predictor, using the model's own objective
+  metadata);
+* ``repro serve-bench`` — replay a seeded request trace through the
+  serving stack: compiled-vs-naive speedup, micro-batching latency
+  percentiles, and a mid-traffic hot-swap with deploy accounting;
 * ``repro advise``  — run the data-management advisor on a workload
   description (Section 6's open problem).
 
@@ -83,6 +88,29 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("data", help="libsvm file to score")
     predict.add_argument("--output", help="write predictions here "
                                           "(default: stdout)")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the serving stack on a synthetic trace",
+    )
+    serve.add_argument("--model", help="model JSON to serve (default: "
+                                       "train one in-process)")
+    serve.add_argument("--requests", type=int, default=2000)
+    serve.add_argument("--rate", type=float, default=5000.0,
+                       help="mean arrival rate (requests/s)")
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--max-delay-ms", type=float, default=2.0)
+    serve.add_argument("--serve-workers", type=int, default=4)
+    serve.add_argument("--balancer", default="least-loaded",
+                       choices=("round-robin", "least-loaded"))
+    serve.add_argument("--trees", type=int, default=20,
+                       help="in-process model size (ignored with --model)")
+    serve.add_argument("--layers", type=int, default=8)
+    serve.add_argument("--features", type=int, default=50)
+    serve.add_argument("--instances", type=int, default=4000)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--smoke", action="store_true",
+                       help="tiny run for CI (seconds, not minutes)")
 
     advise = sub.add_parser(
         "advise", help="recommend a data-management quadrant"
@@ -188,18 +216,23 @@ def cmd_train(args) -> int:
 
 
 def cmd_predict(args) -> int:
+    from .core.loss import make_loss
+    from .serve import compile_ensemble
+
     ensemble = load_ensemble(args.model)
     dataset = read_libsvm(args.data, task="regression")
-    scores = ensemble.raw_scores(dataset.csc())
-    if ensemble.gradient_dim == 1:
-        from .core.loss import sigmoid
-
-        preds = sigmoid(scores).ravel()
+    # the model file carries its own objective metadata; fall back on
+    # the gradient dimension for pre-metadata model files
+    objective = ensemble.objective or (
+        "multiclass" if ensemble.gradient_dim > 1 else "binary"
+    )
+    num_classes = ensemble.num_classes or max(ensemble.gradient_dim, 2)
+    loss = make_loss(objective, num_classes)
+    scores = compile_ensemble(ensemble).raw_scores(dataset.csc())
+    preds = loss.predict(scores)
+    if preds.ndim == 1:
         lines = [f"{p:.6f}" for p in preds]
     else:
-        from .core.loss import softmax
-
-        preds = softmax(scores)
         lines = [
             " ".join(f"{p:.6f}" for p in row) for row in preds
         ]
@@ -210,6 +243,101 @@ def cmd_predict(args) -> int:
         print(f"wrote {len(lines)} predictions to {args.output}")
     else:
         sys.stdout.write(text)
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    import time as _time
+
+    from .serve import (BatchPolicy, MicroBatcher, ModelRegistry,
+                        ReplicaSet, synthetic_trace)
+
+    if args.smoke:
+        args.requests = min(args.requests, 200)
+        args.instances = min(args.instances, 600)
+        args.trees = min(args.trees, 5)
+        args.layers = min(args.layers, 5)
+        args.features = min(args.features, 20)
+        args.serve_workers = min(args.serve_workers, 2)
+
+    registry = ModelRegistry()
+    if args.model:
+        entry = registry.publish_file(args.model)
+        ensembles = {entry.version: load_ensemble(args.model)}
+    else:
+        config = TrainConfig(
+            num_trees=args.trees, num_layers=args.layers,
+            objective="binary", learning_rate=0.3,
+        )
+        dataset = make_classification(
+            args.instances, args.features, seed=args.seed,
+        )
+        from .core.gbdt import GBDT
+
+        first = GBDT(config).fit(dataset).ensemble
+        entry = registry.publish(first, source="in-process v1")
+        # the hot-swap candidate: same data, half the trees
+        retrain = TrainConfig(
+            num_trees=max(args.trees // 2, 1), num_layers=args.layers,
+            objective="binary", learning_rate=0.3,
+        )
+        second = GBDT(retrain).fit(dataset).ensemble
+        registry.publish(second, source="in-process v2")
+        ensembles = {1: first, 2: second}
+    compiled = entry.compiled
+    print(f"serving {entry} from {args.serve_workers} workers "
+          f"({args.balancer})")
+
+    trace = synthetic_trace(
+        args.requests, max(compiled.num_features, 1), args.rate,
+        seed=args.seed,
+    )
+
+    # compiled vs naive on the full trace, exactness checked
+    naive_ensemble = ensembles.get(entry.version)
+    if naive_ensemble is not None:
+        csc = trace.csc()
+        began = _time.perf_counter()
+        naive = naive_ensemble.raw_scores(csc)
+        naive_s = _time.perf_counter() - began
+        began = _time.perf_counter()
+        fast = compiled.raw_scores(trace.features)
+        fast_s = _time.perf_counter() - began
+        exact = bool((naive == fast).all())
+        print(f"batch of {trace.num_requests}: naive={naive_s * 1e3:.1f}ms "
+              f"compiled={fast_s * 1e3:.1f}ms "
+              f"({naive_s / max(fast_s, 1e-12):.2f}x), exact={exact}")
+
+    replicas = ReplicaSet(
+        registry, ClusterConfig(num_workers=args.serve_workers),
+        balancer=args.balancer,
+    )
+    replicas.deploy()
+    swaps = []
+    if len(registry) > 1:
+        swap_at = float(trace.arrivals[trace.num_requests // 2])
+        swaps.append((swap_at, replicas.deployer(2)))
+    batcher = MicroBatcher(replicas, BatchPolicy(
+        max_batch_size=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+    ))
+    report = batcher.run(trace, swaps=swaps)
+    stats = report.latency_stats()
+    print(f"served {stats.count} requests in {len(report.batches)} "
+          f"batches: p50={stats.p50_s * 1e3:.2f}ms "
+          f"p95={stats.p95_s * 1e3:.2f}ms p99={stats.p99_s * 1e3:.2f}ms "
+          f"throughput={stats.throughput_rps:.0f}rps")
+    if swaps:
+        single = all(
+            len({r.model_version for r in report.records
+                 if r.batch_id == b.batch_id}) == 1
+            for b in report.batches
+        )
+        print(f"hot-swap at t={swaps[0][0] * 1e3:.1f}ms: versions served "
+              f"{report.versions_served()}, "
+              f"single-version batches={single}")
+    print(f"deploy:model traffic: {replicas.deploy_bytes} bytes "
+          f"({len(registry)} deploys x {args.serve_workers} workers)")
     return 0
 
 
@@ -250,6 +378,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datagen": cmd_datagen,
         "train": cmd_train,
         "predict": cmd_predict,
+        "serve-bench": cmd_serve_bench,
         "advise": cmd_advise,
     }
     return handlers[args.command](args)

@@ -197,7 +197,9 @@ class ExactGBDT:
         cfg = self.config
         loss = make_loss(cfg.objective, cfg.num_classes)
         presorted = PresortedColumns(train.csc())
-        ensemble = TreeEnsemble(loss.num_outputs, cfg.learning_rate)
+        ensemble = TreeEnsemble(loss.num_outputs, cfg.learning_rate,
+                                objective=cfg.objective,
+                                num_classes=cfg.num_classes)
         result = TrainResult(ensemble)
         scores = loss.init_scores(train.num_instances)
         valid_scores = (

@@ -103,7 +103,9 @@ class GBDT:
         if binned is None:
             binned = bin_dataset(train, cfg.num_candidates)
         loss = make_loss(cfg.objective, cfg.num_classes)
-        ensemble = TreeEnsemble(loss.num_outputs, cfg.learning_rate)
+        ensemble = TreeEnsemble(loss.num_outputs, cfg.learning_rate,
+                                objective=cfg.objective,
+                                num_classes=cfg.num_classes)
         result = TrainResult(ensemble)
         scores = loss.init_scores(train.num_instances)
         valid_scores = (

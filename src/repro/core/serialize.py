@@ -8,9 +8,10 @@ process that only needs :mod:`repro.core.tree`.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -20,9 +21,20 @@ from .tree import Tree, TreeEnsemble
 FORMAT_VERSION = 1
 
 
-def ensemble_to_dict(ensemble: TreeEnsemble, objective: str = "binary",
-                     num_classes: int = 2) -> dict:
-    """JSON-ready dict of an ensemble."""
+def ensemble_to_dict(ensemble: TreeEnsemble,
+                     objective: Optional[str] = None,
+                     num_classes: Optional[int] = None) -> dict:
+    """JSON-ready dict of an ensemble.
+
+    ``objective``/``num_classes`` default to the ensemble's own metadata
+    (falling back to ``"binary"``/2 when the ensemble carries none), so
+    models trained with metadata attached serialize it without the
+    caller re-stating it.
+    """
+    if objective is None:
+        objective = ensemble.objective or "binary"
+    if num_classes is None:
+        num_classes = ensemble.num_classes or 2
     return {
         "format_version": FORMAT_VERSION,
         "objective": objective,
@@ -34,7 +46,12 @@ def ensemble_to_dict(ensemble: TreeEnsemble, objective: str = "binary",
 
 
 def ensemble_from_dict(payload: dict) -> TreeEnsemble:
-    """Inverse of :func:`ensemble_to_dict` (validates the format)."""
+    """Inverse of :func:`ensemble_to_dict` (validates the format).
+
+    The returned ensemble carries the payload's ``objective`` and
+    ``num_classes`` metadata, so consumers (``repro predict``, the model
+    registry) can pick the prediction transform from the model alone.
+    """
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(
@@ -44,6 +61,8 @@ def ensemble_from_dict(payload: dict) -> TreeEnsemble:
     ensemble = TreeEnsemble(
         gradient_dim=int(payload["gradient_dim"]),
         learning_rate=float(payload["learning_rate"]),
+        objective=str(payload.get("objective", "binary")),
+        num_classes=int(payload.get("num_classes", 2)),
     )
     for tree_payload in payload["trees"]:
         ensemble.append(_tree_from_dict(tree_payload,
@@ -51,9 +70,25 @@ def ensemble_from_dict(payload: dict) -> TreeEnsemble:
     return ensemble
 
 
+def canonical_payload_bytes(payload: dict) -> bytes:
+    """Canonical wire encoding of a model payload.
+
+    Sorted keys and minimal separators make the encoding independent of
+    dict insertion order, so it is the stable input for checksums and
+    the byte size a served model costs to ship.
+    """
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def payload_checksum(payload: dict) -> str:
+    """SHA-256 hex digest of the canonical payload encoding."""
+    return hashlib.sha256(canonical_payload_bytes(payload)).hexdigest()
+
+
 def save_ensemble(ensemble: TreeEnsemble, path: Union[str, Path],
-                  objective: str = "binary",
-                  num_classes: int = 2) -> None:
+                  objective: Optional[str] = None,
+                  num_classes: Optional[int] = None) -> None:
     """Write an ensemble to a JSON file."""
     path = Path(path)
     payload = ensemble_to_dict(ensemble, objective, num_classes)

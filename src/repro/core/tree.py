@@ -151,11 +151,23 @@ class Tree:
 
 
 class TreeEnsemble:
-    """The boosted model: a list of trees plus the learning rate."""
+    """The boosted model: a list of trees plus the learning rate.
 
-    def __init__(self, gradient_dim: int, learning_rate: float) -> None:
+    ``objective`` and ``num_classes`` are optional serving metadata (the
+    same fields :func:`repro.core.serialize.ensemble_to_dict` writes);
+    trainers that know the objective set them so a saved model carries
+    enough information to pick the right prediction transform without
+    the caller re-stating it.  ``None`` means "unknown" — consumers fall
+    back on ``gradient_dim``.
+    """
+
+    def __init__(self, gradient_dim: int, learning_rate: float,
+                 objective: Optional[str] = None,
+                 num_classes: Optional[int] = None) -> None:
         self.gradient_dim = gradient_dim
         self.learning_rate = learning_rate
+        self.objective = objective
+        self.num_classes = num_classes
         self.trees: List[Tree] = []
 
     def append(self, tree: Tree) -> None:

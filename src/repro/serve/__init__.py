@@ -1,0 +1,44 @@
+"""Model serving subsystem: compile, batch, version, replicate.
+
+Trained :class:`~repro.core.tree.TreeEnsemble` models are *grown* as
+dictionaries of nodes — convenient for training, slow to serve.  This
+package turns them into production-shaped inference:
+
+- :mod:`~repro.serve.compiler` — lower an ensemble into a
+  struct-of-arrays :class:`CompiledEnsemble` whose vectorized
+  level-synchronous predictor is bit-identical to
+  ``TreeEnsemble.raw_scores`` and several times faster on large batches;
+- :mod:`~repro.serve.batcher` — micro-batching request scheduler on the
+  simulated clock with a per-request latency ledger;
+- :mod:`~repro.serve.registry` — versioned model registry with payload
+  checksums, atomic hot-swap, and rollback;
+- :mod:`~repro.serve.replica` — replicated serving over the simulated
+  cluster with ``deploy:model`` byte accounting and load balancing.
+"""
+
+from .batcher import (BatchPolicy, BatchRecord, DispatchResult,
+                      LatencyStats, MicroBatcher, ModelServer,
+                      RequestRecord, RequestTrace, ServingReport,
+                      synthetic_trace)
+from .compiler import CompiledEnsemble, compile_ensemble
+from .registry import ModelRegistry, ModelVersion
+from .replica import DEPLOY_KIND, ReplicaSet
+
+__all__ = [
+    "BatchPolicy",
+    "BatchRecord",
+    "CompiledEnsemble",
+    "DEPLOY_KIND",
+    "DispatchResult",
+    "LatencyStats",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelServer",
+    "ModelVersion",
+    "ReplicaSet",
+    "RequestRecord",
+    "RequestTrace",
+    "ServingReport",
+    "compile_ensemble",
+    "synthetic_trace",
+]

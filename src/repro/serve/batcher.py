@@ -1,0 +1,369 @@
+"""Micro-batching request scheduler on the simulated clock.
+
+Serving traffic arrives one request at a time; the compiled predictor is
+fastest on large batches.  The :class:`MicroBatcher` bridges the two with
+the classic policy pair: a batch dispatches when it reaches
+``max_batch_size`` requests **or** when its oldest request has waited
+``max_delay_s``, whichever comes first.  Following the repo's simulation
+discipline (computation real, coordination simulated), time is a simulated
+clock driven by the trace's arrival process — by default the *service*
+time of each batch is the measured wall-clock of the compiled predictor,
+while tests substitute a deterministic ``service_model`` so schedules are
+reproducible down to the float.
+
+Every request's life is recorded in a :class:`RequestRecord` (arrival,
+batch, dispatch start, completion, worker, model version) and summarized
+by :class:`LatencyStats` (p50/p95/p99/mean/max latency plus throughput).
+The model version of a batch is resolved exactly once at dispatch — that
+is what makes a registry hot-swap atomic from the traffic's point of
+view: each request is served by exactly one version, and the swap falls
+on a batch boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .compiler import CompiledEnsemble
+from .registry import ModelRegistry
+
+#: a hot-swap scheduled on the simulated clock: ``(time_s, action)``;
+#: the action receives the swap time (e.g. to stamp a deploy)
+SwapEvent = Tuple[float, Callable[[float], None]]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Dispatch a batch at ``max_batch_size`` requests or after the
+    oldest request has waited ``max_delay_s``, whichever happens first."""
+
+    max_batch_size: int = 64
+    max_delay_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if not (self.max_delay_s >= 0.0):
+            raise ValueError("max_delay_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """A replayable serving workload: rows plus their arrival times.
+
+    ``features`` is a dense ``(num_requests, num_features)`` float64
+    matrix (``NaN`` marks missing values, matching the sparse-input
+    convention of :class:`~repro.serve.compiler.CompiledEnsemble`);
+    ``arrivals`` is nondecreasing simulated seconds.
+    """
+
+    features: np.ndarray
+    arrivals: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.features.ndim != 2:
+            raise ValueError("trace features must be 2-D")
+        if self.arrivals.shape != (self.features.shape[0],):
+            raise ValueError("one arrival time per request required")
+        if self.arrivals.size and np.any(np.diff(self.arrivals) < 0):
+            raise ValueError("arrival times must be nondecreasing")
+
+    @property
+    def num_requests(self) -> int:
+        return self.features.shape[0]
+
+    def csc(self):
+        """The trace rows as a :class:`~repro.data.matrix.CSCMatrix`.
+
+        Non-``NaN`` entries become stored entries — the format
+        ``TreeEnsemble.raw_scores`` consumes, used by the bench's naive
+        baseline and the exactness tests.  (A dense trace cannot carry a
+        *stored* exact zero; synthetic Gaussian traces never hit one.)
+        """
+        from ..data.matrix import CSCMatrix
+
+        mask = ~np.isnan(self.features)
+        by_col = mask.T
+        cols, rows = np.nonzero(by_col)
+        indptr = np.concatenate(
+            ([0], np.cumsum(by_col.sum(axis=1)))
+        ).astype(np.int64)
+        return CSCMatrix(indptr, rows.astype(np.int64),
+                         np.ascontiguousarray(self.features.T[by_col]),
+                         self.features.shape[0])
+
+
+def synthetic_trace(num_requests: int, num_features: int,
+                    rate_rps: float, seed: int = 0,
+                    missing_rate: float = 0.2) -> RequestTrace:
+    """Seeded Poisson-arrival trace with Gaussian features.
+
+    Inter-arrival gaps are exponential with mean ``1 / rate_rps``; a
+    ``missing_rate`` fraction of entries is blanked to ``NaN`` so the
+    default-direction paths of the served model actually get traffic.
+    """
+    if rate_rps <= 0.0:
+        raise ValueError("rate_rps must be positive")
+    rng = np.random.default_rng(seed)
+    features = rng.standard_normal((num_requests, num_features))
+    if missing_rate > 0.0:
+        features[rng.random(features.shape) < missing_rate] = np.nan
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_rps, num_requests))
+    return RequestTrace(features=features, arrivals=arrivals)
+
+
+@dataclass
+class RequestRecord:
+    """Ledger entry for one served request (all times simulated)."""
+
+    request_id: int
+    arrival_s: float
+    batch_id: int
+    start_s: float
+    completion_s: float
+    worker: int
+    model_version: int
+
+    @property
+    def latency_s(self) -> float:
+        return self.completion_s - self.arrival_s
+
+    @property
+    def queue_s(self) -> float:
+        """Time spent waiting before the batch started computing."""
+        return self.start_s - self.arrival_s
+
+
+@dataclass
+class BatchRecord:
+    """One dispatched micro-batch."""
+
+    batch_id: int
+    size: int
+    close_s: float
+    start_s: float
+    completion_s: float
+    worker: int
+    model_version: int
+
+
+@dataclass(frozen=True)
+class DispatchResult:
+    """What a backend reports for one batch it executed."""
+
+    start_s: float
+    completion_s: float
+    worker: int
+    model_version: int
+    scores: np.ndarray
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Latency distribution and throughput of a finished run."""
+
+    count: int
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_s: float
+    max_s: float
+    mean_queue_s: float
+    throughput_rps: float
+    makespan_s: float
+
+    @classmethod
+    def from_records(cls, records: Sequence[RequestRecord]
+                     ) -> "LatencyStats":
+        if not records:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        lat = np.array([r.latency_s for r in records])
+        queue = np.array([r.queue_s for r in records])
+        p50, p95, p99 = np.percentile(lat, [50.0, 95.0, 99.0])
+        makespan = max(r.completion_s for r in records)
+        return cls(
+            count=len(records),
+            p50_s=float(p50), p95_s=float(p95), p99_s=float(p99),
+            mean_s=float(lat.mean()), max_s=float(lat.max()),
+            mean_queue_s=float(queue.mean()),
+            throughput_rps=len(records) / makespan if makespan > 0
+            else float("inf"),
+            makespan_s=float(makespan),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count, "p50_s": self.p50_s,
+            "p95_s": self.p95_s, "p99_s": self.p99_s,
+            "mean_s": self.mean_s, "max_s": self.max_s,
+            "mean_queue_s": self.mean_queue_s,
+            "throughput_rps": self.throughput_rps,
+            "makespan_s": self.makespan_s,
+        }
+
+
+@dataclass
+class ServingReport:
+    """Full outcome of one :meth:`MicroBatcher.run`."""
+
+    records: List[RequestRecord] = field(default_factory=list)
+    batches: List[BatchRecord] = field(default_factory=list)
+    #: per-request raw scores, ``(num_requests, gradient_dim)``;
+    #: ``None`` unless the run collected them
+    scores: Optional[np.ndarray] = None
+
+    def latency_stats(self) -> LatencyStats:
+        return LatencyStats.from_records(self.records)
+
+    def versions_served(self) -> List[int]:
+        """Distinct model versions that served traffic, in first-use
+        order — the hot-swap tests assert on this."""
+        seen: List[int] = []
+        for record in self.records:
+            if record.model_version not in seen:
+                seen.append(record.model_version)
+        return seen
+
+
+class ModelServer:
+    """Single-worker serving backend.
+
+    Wraps either a bare :class:`CompiledEnsemble` (version 0) or a
+    :class:`~repro.serve.registry.ModelRegistry`, whose *active* version
+    is resolved once per dispatched batch.  ``service_model`` maps a
+    batch size to simulated service seconds; when omitted, the measured
+    wall-clock of the compiled predictor is used (computation-is-real).
+    """
+
+    def __init__(self, model: Union[CompiledEnsemble, ModelRegistry],
+                 service_model: Optional[Callable[[int], float]] = None
+                 ) -> None:
+        self._registry = model if isinstance(model, ModelRegistry) else None
+        self._compiled = model if isinstance(model, CompiledEnsemble) \
+            else None
+        if self._registry is None and self._compiled is None:
+            raise TypeError(
+                "model must be a CompiledEnsemble or a ModelRegistry"
+            )
+        self.service_model = service_model
+        self._free_s = 0.0
+
+    def resolve(self) -> Tuple[CompiledEnsemble, int]:
+        """The (compiled model, version) serving right now."""
+        if self._registry is not None:
+            entry = self._registry.active
+            return entry.compiled, entry.version
+        return self._compiled, 0
+
+    def next_free_s(self) -> float:
+        """Earliest simulated time the next batch could start."""
+        return self._free_s
+
+    def dispatch(self, features: np.ndarray,
+                 close_s: float) -> DispatchResult:
+        compiled, version = self.resolve()
+        began = time.perf_counter()
+        scores = compiled.raw_scores(features)
+        measured = time.perf_counter() - began
+        seconds = (measured if self.service_model is None
+                   else float(self.service_model(features.shape[0])))
+        start = max(close_s, self._free_s)
+        self._free_s = start + seconds
+        return DispatchResult(
+            start_s=start, completion_s=self._free_s, worker=0,
+            model_version=version, scores=scores,
+        )
+
+
+class MicroBatcher:
+    """Replay a trace through a backend under a :class:`BatchPolicy`.
+
+    The backend contract is two methods: ``next_free_s()`` (earliest
+    simulated start for the next batch — used to keep collecting arrivals
+    while all capacity is busy) and ``dispatch(features, close_s)``
+    returning a :class:`DispatchResult`.  Both :class:`ModelServer` and
+    :class:`~repro.serve.replica.ReplicaSet` satisfy it.
+    """
+
+    def __init__(self, backend, policy: Optional[BatchPolicy] = None
+                 ) -> None:
+        self.backend = backend
+        self.policy = policy or BatchPolicy()
+
+    def run(self, trace: RequestTrace,
+            swaps: Sequence[SwapEvent] = (),
+            collect_scores: bool = False) -> ServingReport:
+        """Serve every request of ``trace``; returns the full ledger.
+
+        ``swaps`` schedules hot-swap actions on the simulated clock:
+        each ``(time_s, action)`` fires once, just before the first batch
+        that closes at or after ``time_s`` resolves its model — so a
+        swap lands exactly on a batch boundary and no batch straddles
+        two versions.
+        """
+        policy = self.policy
+        arrivals = trace.arrivals
+        total = trace.num_requests
+        pending_swaps = sorted(swaps, key=lambda s: s[0])
+        report = ServingReport()
+        if collect_scores:
+            scores: Optional[List[np.ndarray]] = []
+        i = 0
+        swap_i = 0
+        while i < total:
+            first = arrivals[i]
+            # the batch closes when full, when the oldest request times
+            # out, or when capacity frees up — whichever is latest of
+            # (earliest of the first two) and the free time, so queues
+            # keep absorbing arrivals while every worker is busy
+            if i + policy.max_batch_size <= total:
+                full_s = arrivals[i + policy.max_batch_size - 1]
+            else:
+                full_s = np.inf
+            close = min(first + policy.max_delay_s, full_s)
+            close = max(close, first, self.backend.next_free_s())
+            size = min(
+                int(np.searchsorted(arrivals, close, side="right")) - i,
+                policy.max_batch_size,
+            )
+            while swap_i < len(pending_swaps) \
+                    and pending_swaps[swap_i][0] <= close:
+                when, action = pending_swaps[swap_i]
+                action(when)
+                swap_i += 1
+            result = self.backend.dispatch(
+                trace.features[i:i + size], float(close)
+            )
+            batch_id = len(report.batches)
+            report.batches.append(BatchRecord(
+                batch_id=batch_id, size=size, close_s=float(close),
+                start_s=result.start_s,
+                completion_s=result.completion_s,
+                worker=result.worker,
+                model_version=result.model_version,
+            ))
+            for k in range(size):
+                report.records.append(RequestRecord(
+                    request_id=i + k,
+                    arrival_s=float(arrivals[i + k]),
+                    batch_id=batch_id,
+                    start_s=result.start_s,
+                    completion_s=result.completion_s,
+                    worker=result.worker,
+                    model_version=result.model_version,
+                ))
+            if collect_scores:
+                scores.append(result.scores)
+            i += size
+        # late swaps (after the last close) still fire so a scheduled
+        # deploy is never silently skipped
+        for when, action in pending_swaps[swap_i:]:
+            action(when)
+        if collect_scores:
+            report.scores = (np.concatenate(scores, axis=0) if scores
+                             else np.zeros((0, 0)))
+        return report

@@ -1,0 +1,180 @@
+"""Versioned model registry with checksums, hot-swap, and rollback.
+
+A :class:`ModelRegistry` owns every model a serving process knows about.
+Models enter through :meth:`~ModelRegistry.publish` (in-memory ensembles
+or payload dicts) or :meth:`~ModelRegistry.publish_file` (the
+:mod:`repro.core.serialize` JSON format); each gets a monotonically
+increasing version number, a SHA-256 checksum of its canonical payload
+encoding, the payload's wire size in bytes (what a deploy ships, per the
+block-distributed-GBDT accounting argument), and a ready-to-serve
+:class:`~repro.serve.compiler.CompiledEnsemble`.
+
+Exactly one version is *active* at a time.  :meth:`~ModelRegistry.activate`
+is an atomic pointer flip — a traffic source that resolves the active
+version at batch-dispatch time therefore serves every batch from exactly
+one version, which is the hot-swap invariant the serving tests pin.
+:meth:`~ModelRegistry.rollback` re-activates the previously active
+version (the activation history is kept, so repeated rollbacks walk
+backwards).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.serialize import (canonical_payload_bytes, ensemble_from_dict,
+                              ensemble_to_dict, payload_checksum)
+from ..core.tree import TreeEnsemble
+from .compiler import CompiledEnsemble, compile_ensemble
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One published model: identity, provenance, and compiled form."""
+
+    version: int
+    checksum: str
+    #: canonical JSON payload size — the bytes a deploy ships per worker
+    nbytes: int
+    objective: str
+    num_classes: int
+    compiled: CompiledEnsemble
+    ensemble: TreeEnsemble = field(repr=False)
+    source: str = "<memory>"
+
+    def __str__(self) -> str:
+        return (f"v{self.version} ({self.objective}, "
+                f"{self.compiled.num_trees} trees, "
+                f"{self.nbytes / 1e6:.2f}MB, "
+                f"sha256:{self.checksum[:12]})")
+
+
+class ModelRegistry:
+    """Versioned store of served models with one active pointer."""
+
+    def __init__(self) -> None:
+        self._versions: Dict[int, ModelVersion] = {}
+        self._active: Optional[ModelVersion] = None
+        self._activation_log: List[int] = []
+        self._next_version = 1
+
+    # -- publishing --------------------------------------------------------
+
+    def publish(self, model: Union[TreeEnsemble, dict],
+                source: str = "<memory>") -> ModelVersion:
+        """Register a model and return its :class:`ModelVersion`.
+
+        Accepts a live :class:`TreeEnsemble` or a payload dict in the
+        :mod:`repro.core.serialize` format (validated either way).  The
+        first publish auto-activates, so a fresh registry serves as soon
+        as it holds one model; later publishes never change the active
+        version — that takes an explicit :meth:`activate`.
+        """
+        if isinstance(model, TreeEnsemble):
+            payload = ensemble_to_dict(model)
+            ensemble = model
+        else:
+            payload = model
+            ensemble = ensemble_from_dict(payload)
+        entry = ModelVersion(
+            version=self._next_version,
+            checksum=payload_checksum(payload),
+            nbytes=len(canonical_payload_bytes(payload)),
+            objective=str(payload.get("objective", "binary")),
+            num_classes=int(payload.get("num_classes", 2)),
+            compiled=compile_ensemble(ensemble),
+            ensemble=ensemble,
+            source=source,
+        )
+        self._versions[entry.version] = entry
+        self._next_version += 1
+        if self._active is None:
+            self.activate(entry.version)
+        return entry
+
+    def publish_file(self, path: Union[str, Path],
+                     expected_checksum: Optional[str] = None
+                     ) -> ModelVersion:
+        """Publish a model JSON file, optionally pinning its checksum.
+
+        ``expected_checksum`` guards the ship: if the payload read from
+        disk does not hash to it, the file was corrupted or swapped in
+        transit and the publish is refused.
+        """
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path} is not a valid model file") from exc
+        actual = payload_checksum(payload)
+        if expected_checksum is not None and actual != expected_checksum:
+            raise ValueError(
+                f"checksum mismatch for {path}: expected "
+                f"{expected_checksum}, got {actual}"
+            )
+        return self.publish(payload, source=str(path))
+
+    # -- the active pointer ------------------------------------------------
+
+    @property
+    def active(self) -> ModelVersion:
+        """The currently served version (raises if nothing is active)."""
+        if self._active is None:
+            raise LookupError("registry has no active model")
+        return self._active
+
+    @property
+    def has_active(self) -> bool:
+        return self._active is not None
+
+    def activate(self, version: int) -> ModelVersion:
+        """Atomically flip the active pointer to ``version``."""
+        entry = self.get(version)
+        self._active = entry
+        self._activation_log.append(entry.version)
+        return entry
+
+    def rollback(self) -> ModelVersion:
+        """Re-activate the previously active version.
+
+        Walks the activation history: the current activation is popped,
+        so consecutive rollbacks step further back.  Refuses when there
+        is no earlier activation to return to.
+        """
+        if len(self._activation_log) < 2:
+            raise LookupError("no previous activation to roll back to")
+        self._activation_log.pop()
+        entry = self.get(self._activation_log[-1])
+        self._active = entry
+        return entry
+
+    # -- introspection -----------------------------------------------------
+
+    def get(self, version: int) -> ModelVersion:
+        try:
+            return self._versions[version]
+        except KeyError:
+            raise KeyError(
+                f"unknown model version {version}; published: "
+                f"{sorted(self._versions) or 'none'}"
+            ) from None
+
+    def versions(self) -> List[ModelVersion]:
+        """Every published version, oldest first."""
+        return [self._versions[v] for v in sorted(self._versions)]
+
+    @property
+    def activation_log(self) -> List[int]:
+        """Version ids in activation order (rollbacks pop entries)."""
+        return list(self._activation_log)
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __repr__(self) -> str:
+        active = self._active.version if self._active else None
+        return (f"ModelRegistry(versions={sorted(self._versions)}, "
+                f"active={active})")

@@ -1,0 +1,161 @@
+"""Replicated serving over the simulated cluster.
+
+A :class:`ReplicaSet` serves one :class:`~repro.serve.registry.ModelRegistry`
+from ``W`` simulated workers.  It follows the training-side simulation
+contract exactly: prediction *computation* is real (the compiled
+predictor runs and is wall-clocked, unless a deterministic
+``service_model`` substitutes), while *model distribution* is simulated
+network traffic — every deploy ships the model's canonical payload bytes
+to each worker through :class:`~repro.cluster.network.SimulatedNetwork`
+under the ``deploy:model`` ledger kind, so serving rollouts share the
+byte/time accounting used for the paper's training communication results.
+
+Two load balancers are provided:
+
+- ``round-robin`` — workers take batches in a fixed cycle; fair under
+  homogeneous workers, oblivious to stragglers;
+- ``least-loaded`` — each batch goes to the worker that frees earliest
+  (ties break to the lowest id); adapts to heterogeneous
+  ``worker_speeds`` at the cost of determinism under ties.
+
+Workers serve whatever model version was last *deployed to them* — a
+registry ``activate`` alone changes nothing on the replicas until a
+:meth:`ReplicaSet.deploy` ships it, which is how real fleets behave and
+what makes the hot-swap byte accounting honest.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from ..config import ClusterConfig
+from ..cluster.network import SimulatedNetwork
+from .batcher import DispatchResult
+from .registry import ModelRegistry, ModelVersion
+
+#: ledger kind for model distribution traffic
+DEPLOY_KIND = "deploy:model"
+
+_BALANCERS = ("round-robin", "least-loaded")
+
+
+class ReplicaSet:
+    """``W`` simulated workers serving one registry behind a balancer.
+
+    Satisfies the :class:`~repro.serve.batcher.MicroBatcher` backend
+    contract (``next_free_s`` / ``dispatch``).  ``service_model`` maps a
+    batch size to baseline service seconds (measured wall-clock when
+    omitted); per-worker time divides by ``cluster.speed_of(w)``, so
+    stragglers configured via ``worker_speeds`` serve slower, exactly as
+    they train slower.
+    """
+
+    def __init__(self, registry: ModelRegistry,
+                 cluster: Optional[ClusterConfig] = None,
+                 network: Optional[SimulatedNetwork] = None,
+                 balancer: str = "round-robin",
+                 service_model: Optional[Callable[[int], float]] = None
+                 ) -> None:
+        if balancer not in _BALANCERS:
+            raise ValueError(
+                f"unknown balancer {balancer!r}; choose from {_BALANCERS}"
+            )
+        self.registry = registry
+        self.cluster = cluster or ClusterConfig()
+        self.network = network or SimulatedNetwork(self.cluster.network)
+        self.balancer = balancer
+        self.service_model = service_model
+        self.num_workers = self.cluster.num_workers
+        self._free = np.zeros(self.num_workers)
+        self._deployed: list = [None] * self.num_workers
+        self._rr_next = 0
+
+    # -- model distribution ------------------------------------------------
+
+    def deploy(self, version: Union[int, ModelVersion, None] = None,
+               at_s: float = 0.0) -> ModelVersion:
+        """Ship a model version to every worker.
+
+        ``version`` may be a version id, a :class:`ModelVersion`, or
+        ``None`` for the registry's active version.  Each worker receives
+        the canonical JSON payload as one simulated ``deploy:model``
+        transfer; the worker is busy installing for the transfer's
+        duration, so in-flight traffic queues behind the rollout rather
+        than racing it.
+        """
+        if version is None:
+            entry = self.registry.active
+        elif isinstance(version, ModelVersion):
+            entry = version
+        else:
+            entry = self.registry.get(int(version))
+        for worker in range(self.num_workers):
+            seconds = self.network.transfer(DEPLOY_KIND, entry.nbytes)
+            self._free[worker] = max(self._free[worker], at_s) + seconds
+            self._deployed[worker] = entry
+        return entry
+
+    def deployer(self, version: Union[int, ModelVersion, None] = None
+                 ) -> Callable[[float], None]:
+        """A swap action for :meth:`MicroBatcher.run`: activates (when
+        given a version id) and deploys at the swap's simulated time."""
+        def action(at_s: float) -> None:
+            if isinstance(version, int):
+                self.registry.activate(version)
+            self.deploy(version, at_s=at_s)
+        return action
+
+    def deployed_versions(self) -> list:
+        """Per-worker deployed version id (``None`` before any deploy)."""
+        return [None if entry is None else entry.version
+                for entry in self._deployed]
+
+    # -- MicroBatcher backend contract -------------------------------------
+
+    def _pick_worker(self) -> int:
+        if self.balancer == "round-robin":
+            return self._rr_next
+        return int(np.argmin(self._free))   # ties -> lowest id
+
+    def next_free_s(self) -> float:
+        """Free time of the worker the *next* batch will land on."""
+        return float(self._free[self._pick_worker()])
+
+    def dispatch(self, features: np.ndarray,
+                 close_s: float) -> DispatchResult:
+        worker = self._pick_worker()
+        if self.balancer == "round-robin":
+            self._rr_next = (self._rr_next + 1) % self.num_workers
+        entry = self._deployed[worker]
+        if entry is None:
+            raise RuntimeError(
+                f"worker {worker} has no model; call deploy() before "
+                "serving traffic"
+            )
+        began = time.perf_counter()
+        scores = entry.compiled.raw_scores(features)
+        measured = time.perf_counter() - began
+        baseline = (measured if self.service_model is None
+                    else float(self.service_model(features.shape[0])))
+        seconds = baseline / self.cluster.speed_of(worker)
+        start = max(close_s, float(self._free[worker]))
+        self._free[worker] = start + seconds
+        return DispatchResult(
+            start_s=start, completion_s=start + seconds, worker=worker,
+            model_version=entry.version, scores=scores,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def deploy_bytes(self) -> int:
+        """Total bytes shipped under ``deploy:model`` so far."""
+        return self.network.snapshot().bytes_by_kind.get(DEPLOY_KIND, 0)
+
+    def __repr__(self) -> str:
+        return (f"ReplicaSet(workers={self.num_workers}, "
+                f"balancer={self.balancer!r}, "
+                f"deployed={self.deployed_versions()})")

@@ -282,7 +282,9 @@ class DistributedGBDT:
             binned = bin_dataset(train, cfg.num_candidates)
         self._binned = binned
         self._setup(binned)
-        ensemble = TreeEnsemble(self.loss.num_outputs, cfg.learning_rate)
+        ensemble = TreeEnsemble(self.loss.num_outputs, cfg.learning_rate,
+                                objective=cfg.objective,
+                                num_classes=cfg.num_classes)
         # checkpointing reads the committed model through this reference
         self._ensemble = ensemble
         result = DistTrainResult(ensemble)

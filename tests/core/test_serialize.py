@@ -3,14 +3,22 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro import GBDT, TrainConfig
-from repro.core.serialize import (FORMAT_VERSION, ensemble_from_dict,
-                                  ensemble_to_dict, load_ensemble,
+from repro.core.serialize import (FORMAT_VERSION, canonical_payload_bytes,
+                                  ensemble_from_dict, ensemble_to_dict,
+                                  load_ensemble, payload_checksum,
                                   save_ensemble)
+
+#: committed golden model: regenerate ONLY on a deliberate format bump
+GOLDEN = (Path(__file__).resolve().parent.parent / "data" / "golden"
+          / "model_multiclass_v1.json")
+GOLDEN_CHECKSUM = \
+    "728251b236bd60c63e55259c95c3cf1c7ea3b7806483156c597025ed4435aceb"
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +67,69 @@ class TestRoundTrip:
         payload = ensemble_to_dict(ensemble)
         text = json.dumps(payload)
         assert ensemble_from_dict(json.loads(text)).trees
+
+
+class TestGoldenFile:
+    """Byte-for-byte compatibility with the committed format-v1 file.
+
+    These tests pin the on-disk format itself, not just semantic
+    round-tripping: if serializer output drifts (key order, float
+    formatting, indent), saved models in the wild stop matching their
+    recorded checksums even though they still load.
+    """
+
+    def test_round_trip_byte_for_byte(self, tmp_path):
+        ensemble = load_ensemble(GOLDEN)
+        regenerated = tmp_path / "regen.json"
+        # metadata rides on the loaded ensemble, so a plain re-save must
+        # reproduce the file exactly
+        save_ensemble(ensemble, regenerated)
+        assert regenerated.read_bytes() == GOLDEN.read_bytes()
+
+    def test_checksum_pinned(self):
+        payload = json.loads(GOLDEN.read_text())
+        assert payload_checksum(payload) == GOLDEN_CHECKSUM
+
+    def test_golden_metadata(self):
+        ensemble = load_ensemble(GOLDEN)
+        assert ensemble.objective == "multiclass"
+        assert ensemble.num_classes == 3
+        assert ensemble.gradient_dim == 3
+        assert len(ensemble) == 3
+
+    def test_golden_predictions_finite(self):
+        from repro.serve import compile_ensemble
+
+        compiled = compile_ensemble(load_ensemble(GOLDEN))
+        scores = compiled.raw_scores(np.full((4, 12), np.nan))
+        assert np.isfinite(scores).all()
+
+
+class TestCanonicalEncoding:
+    def test_key_order_independent(self, trained):
+        _, ensemble, _ = trained
+        payload = ensemble_to_dict(ensemble)
+        shuffled = json.loads(
+            json.dumps(payload), object_pairs_hook=lambda kv:
+            dict(reversed(kv))
+        )
+        assert canonical_payload_bytes(payload) == \
+            canonical_payload_bytes(shuffled)
+        assert payload_checksum(payload) == payload_checksum(shuffled)
+
+    def test_checksum_detects_tampering(self, trained):
+        _, ensemble, _ = trained
+        payload = ensemble_to_dict(ensemble)
+        before = payload_checksum(payload)
+        tampered = json.loads(json.dumps(payload))
+        tampered["learning_rate"] = payload["learning_rate"] + 1e-9
+        assert payload_checksum(tampered) != before
+
+    def test_objective_metadata_round_trip(self, trained):
+        _, ensemble, _ = trained
+        back = ensemble_from_dict(ensemble_to_dict(ensemble))
+        assert back.objective == "binary"
+        assert back.num_classes == 2
 
 
 class TestValidation:

@@ -1,0 +1,228 @@
+"""Micro-batcher tests: policy triggers, simulated schedules, ledgers.
+
+All scheduling tests use a deterministic ``service_model`` so every
+simulated timestamp is computable by hand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GBDT, TrainConfig
+from repro.serve import (BatchPolicy, MicroBatcher, ModelRegistry,
+                         ModelServer, RequestTrace, compile_ensemble,
+                         synthetic_trace)
+
+
+def trace_at(times, num_features=3):
+    """A trace with hand-placed arrival times and arange features."""
+    times = np.asarray(times, dtype=np.float64)
+    features = np.arange(
+        times.size * num_features, dtype=np.float64
+    ).reshape(times.size, num_features)
+    return RequestTrace(features=features, arrivals=times)
+
+
+@pytest.fixture(scope="module")
+def model(small_binary):
+    cfg = TrainConfig(num_trees=3, num_layers=4, num_candidates=8)
+    return GBDT(cfg).fit(small_binary).ensemble
+
+
+@pytest.fixture(scope="module")
+def compiled(model):
+    return compile_ensemble(model)
+
+
+def server(compiled, per_batch=0.001, per_row=0.0):
+    return ModelServer(
+        compiled, service_model=lambda k: per_batch + per_row * k
+    )
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ValueError, match="max_delay"):
+            BatchPolicy(max_delay_s=-1.0)
+        with pytest.raises(ValueError, match="max_delay"):
+            BatchPolicy(max_delay_s=float("nan"))
+
+
+class TestTrace:
+    def test_synthetic_trace_seeded(self):
+        a = synthetic_trace(50, 8, rate_rps=100.0, seed=4)
+        b = synthetic_trace(50, 8, rate_rps=100.0, seed=4)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.arrivals, b.arrivals)
+        assert np.isnan(a.features).any()
+        assert np.all(np.diff(a.arrivals) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="nondecreasing"):
+            RequestTrace(features=np.zeros((2, 1)),
+                         arrivals=np.array([1.0, 0.5]))
+        with pytest.raises(ValueError, match="one arrival"):
+            RequestTrace(features=np.zeros((2, 1)),
+                         arrivals=np.zeros(3))
+        with pytest.raises(ValueError, match="rate_rps"):
+            synthetic_trace(5, 2, rate_rps=0.0)
+
+    def test_csc_round_trip(self):
+        trace = synthetic_trace(40, 6, rate_rps=10.0, seed=9,
+                                missing_rate=0.5)
+        csc = trace.csc()
+        dense = np.full(trace.features.shape, np.nan)
+        for j in range(csc.num_cols):
+            rows, vals = csc.col(j)
+            dense[rows, j] = vals
+        np.testing.assert_array_equal(dense, trace.features)
+
+
+class TestBatchFormation:
+    def test_full_batch_dispatches_at_capacity(self, compiled):
+        # four arrivals in a burst, max_batch=2 -> two batches of 2
+        trace = trace_at([0.0, 0.0, 0.0, 0.0])
+        report = MicroBatcher(
+            server(compiled), BatchPolicy(2, max_delay_s=10.0)
+        ).run(trace)
+        assert [b.size for b in report.batches] == [2, 2]
+        # first closes immediately; second waits for the server
+        assert report.batches[0].start_s == 0.0
+        assert report.batches[1].start_s == pytest.approx(0.001)
+
+    def test_delay_timeout_flushes_partial_batch(self, compiled):
+        trace = trace_at([0.0, 0.004])
+        report = MicroBatcher(
+            server(compiled), BatchPolicy(64, max_delay_s=0.002)
+        ).run(trace)
+        assert [b.size for b in report.batches] == [1, 1]
+        assert report.batches[0].close_s == pytest.approx(0.002)
+        assert report.batches[1].close_s == pytest.approx(0.006)
+
+    def test_queue_absorbs_arrivals_while_busy(self, compiled):
+        # server busy 10ms; everything arriving meanwhile joins batch 2
+        trace = trace_at([0.0, 0.001, 0.002, 0.009])
+        report = MicroBatcher(
+            server(compiled, per_batch=0.010),
+            BatchPolicy(64, max_delay_s=0.0005),
+        ).run(trace)
+        assert [b.size for b in report.batches] == [1, 3]
+        # batch 1 closed at 0.5ms and ran 10ms; batch 2 starts then
+        assert report.batches[1].start_s == pytest.approx(0.0105)
+
+    def test_zero_delay_still_serves_simultaneous_arrivals(self,
+                                                           compiled):
+        trace = trace_at([0.0, 0.0, 0.5])
+        report = MicroBatcher(
+            server(compiled), BatchPolicy(8, max_delay_s=0.0)
+        ).run(trace)
+        assert [b.size for b in report.batches] == [2, 1]
+
+    def test_empty_trace(self, compiled):
+        trace = trace_at([])
+        report = MicroBatcher(
+            server(compiled), BatchPolicy(8, 0.001)
+        ).run(trace, collect_scores=True)
+        assert report.records == [] and report.batches == []
+        assert report.scores.size == 0
+        assert report.versions_served() == []
+
+    def test_every_request_served_once(self, compiled):
+        trace = synthetic_trace(300, compiled.num_features,
+                                rate_rps=5000.0, seed=3)
+        report = MicroBatcher(
+            server(compiled, per_row=1e-6), BatchPolicy(32, 0.002)
+        ).run(trace)
+        ids = sorted(r.request_id for r in report.records)
+        assert ids == list(range(300))
+        assert sum(b.size for b in report.batches) == 300
+
+
+class TestLedger:
+    def test_latency_decomposition(self, compiled):
+        trace = trace_at([0.0, 0.004])
+        report = MicroBatcher(
+            server(compiled), BatchPolicy(64, max_delay_s=0.002)
+        ).run(trace)
+        first = report.records[0]
+        assert first.queue_s == pytest.approx(0.002)
+        assert first.latency_s == pytest.approx(0.003)
+        stats = report.latency_stats()
+        assert stats.count == 2
+        assert stats.p50_s <= stats.p95_s <= stats.p99_s <= stats.max_s
+        assert stats.throughput_rps > 0
+        assert set(stats.to_dict()) >= {"p50_s", "p99_s",
+                                        "throughput_rps"}
+
+    def test_empty_stats(self):
+        from repro.serve import LatencyStats
+
+        stats = LatencyStats.from_records([])
+        assert stats.count == 0 and stats.p99_s == 0.0
+
+    def test_collected_scores_match_direct_prediction(self, model,
+                                                      compiled):
+        trace = synthetic_trace(100, compiled.num_features,
+                                rate_rps=2000.0, seed=5)
+        report = MicroBatcher(
+            server(compiled), BatchPolicy(16, 0.001)
+        ).run(trace, collect_scores=True)
+        np.testing.assert_array_equal(
+            report.scores, model.raw_scores(trace.csc())
+        )
+
+
+class TestHotSwap:
+    def test_swap_lands_on_batch_boundary(self, small_binary, model):
+        registry = ModelRegistry()
+        registry.publish(model)
+        half = GBDT(TrainConfig(num_trees=1, num_layers=4,
+                                num_candidates=8))
+        registry.publish(half.fit(small_binary).ensemble)
+        trace = synthetic_trace(
+            200, registry.active.compiled.num_features,
+            rate_rps=5000.0, seed=6,
+        )
+        swap_at = float(trace.arrivals[100])
+        backend = ModelServer(registry, service_model=lambda k: 1e-4)
+        report = MicroBatcher(backend, BatchPolicy(16, 0.001)).run(
+            trace, swaps=[(swap_at, lambda t: registry.activate(2))]
+        )
+        assert report.versions_served() == [1, 2]
+        for batch in report.batches:
+            versions = {r.model_version for r in report.records
+                        if r.batch_id == batch.batch_id}
+            assert versions == {batch.model_version}
+        # the swap splits traffic in two contiguous version runs
+        versions = [r.model_version for r in report.records]
+        flip = versions.index(2)
+        assert all(v == 1 for v in versions[:flip])
+        assert all(v == 2 for v in versions[flip:])
+
+    def test_late_swap_still_fires(self, model):
+        registry = ModelRegistry()
+        registry.publish(model)
+        fired = []
+        trace = trace_at([0.0])
+        MicroBatcher(
+            ModelServer(registry, service_model=lambda k: 1e-4),
+            BatchPolicy(4, 0.001),
+        ).run(trace, swaps=[(99.0, fired.append)])
+        assert fired == [99.0]
+
+
+class TestModelServer:
+    def test_rejects_unknown_model_type(self):
+        with pytest.raises(TypeError, match="CompiledEnsemble"):
+            ModelServer(object())
+
+    def test_measured_service_time_used_without_model(self, compiled):
+        trace = trace_at([0.0, 0.0])
+        report = MicroBatcher(
+            ModelServer(compiled), BatchPolicy(8, 0.0)
+        ).run(trace)
+        stats = report.latency_stats()
+        assert stats.makespan_s > 0.0  # real wall clock, nonzero

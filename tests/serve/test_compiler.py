@@ -1,0 +1,224 @@
+"""Compiled-ensemble tests: structure, exactness, input formats.
+
+The load-bearing guarantee is *bit identity*: the compiled
+level-synchronous predictor must return literally the same float64
+values as ``TreeEnsemble.raw_scores`` — every assertion here is
+``array_equal``, never ``allclose``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, GBDT, TrainConfig, make_system
+from repro.core.split import SplitInfo
+from repro.core.tree import Tree, TreeEnsemble
+from repro.data.matrix import CSRMatrix
+from repro.serve import compile_ensemble
+from repro.serve.compiler import _FEATURE_MASK
+from repro.systems import PLANS
+
+
+@pytest.fixture(scope="module")
+def trained(small_binary):
+    cfg = TrainConfig(num_trees=4, num_layers=5, num_candidates=8)
+    return GBDT(cfg).fit(small_binary).ensemble, small_binary
+
+
+@pytest.fixture(scope="module")
+def compiled(trained):
+    return compile_ensemble(trained[0])
+
+
+class TestStructure:
+    def test_children_adjacent_and_leaves_self_loop(self, compiled):
+        internal = compiled.leaf_slot < 0
+        np.testing.assert_array_equal(
+            compiled.right[internal], compiled.left[internal] + 1
+        )
+        leaves = ~internal
+        slots = np.arange(compiled.num_slots, dtype=np.int32)
+        np.testing.assert_array_equal(compiled.left[leaves],
+                                      slots[leaves])
+        assert np.all(np.isinf(compiled.threshold[leaves]))
+        assert np.all(compiled.default_left[leaves])
+
+    def test_tree_roots_partition_slots(self, trained, compiled):
+        ensemble = trained[0]
+        assert compiled.tree_root[0] == 0
+        assert compiled.tree_root[-1] == compiled.num_slots
+        sizes = np.diff(compiled.tree_root)
+        for tree, size in zip(ensemble.trees, sizes):
+            assert size == len(tree.nodes)
+
+    def test_leaf_weights_unscaled(self, trained, compiled):
+        ensemble = trained[0]
+        assert compiled.num_leaves == sum(
+            tree.num_leaves for tree in ensemble.trees
+        )
+        # root tree's first BFS leaf weight appears verbatim
+        weights = {
+            tuple(node.weight.tolist())
+            for tree in ensemble.trees
+            for node in tree.nodes.values() if node.is_leaf
+        }
+        for row in compiled.leaf_weights:
+            assert tuple(row.tolist()) in weights
+
+    def test_arrays_read_only(self, compiled):
+        with pytest.raises(ValueError):
+            compiled.threshold[0] = 0.0
+
+    def test_introspection(self, compiled):
+        assert compiled.nbytes > 0
+        assert "CompiledEnsemble" in repr(compiled)
+
+    def test_feature_id_overflow_rejected(self):
+        tree = Tree(2, 1)
+        tree.set_split(0, SplitInfo(feature=_FEATURE_MASK + 1, bin=0,
+                                    default_left=True, gain=1.0), 0.5)
+        tree.set_leaf(1, np.array([1.0]))
+        tree.set_leaf(2, np.array([-1.0]))
+        ensemble = TreeEnsemble(1, 0.3)
+        ensemble.append(tree)
+        with pytest.raises(ValueError, match="packed limit"):
+            compile_ensemble(ensemble)
+
+    def test_missing_child_rejected(self):
+        tree = Tree(2, 1)
+        tree.set_split(0, SplitInfo(feature=0, bin=0, default_left=True,
+                                    gain=1.0), 0.5)
+        tree.set_leaf(1, np.array([1.0]))  # right child absent
+        ensemble = TreeEnsemble(1, 0.3)
+        ensemble.append(tree)
+        with pytest.raises(ValueError, match="lacks child"):
+            compile_ensemble(ensemble)
+
+
+class TestExactness:
+    def test_bit_identical_on_training_data(self, trained, compiled):
+        ensemble, dataset = trained
+        csc = dataset.csc()
+        np.testing.assert_array_equal(
+            compiled.raw_scores(csc), ensemble.raw_scores(csc)
+        )
+
+    def test_bit_identical_on_sparse_data(self, small_sparse):
+        cfg = TrainConfig(num_trees=3, num_layers=5, num_candidates=8)
+        ensemble = GBDT(cfg).fit(small_sparse).ensemble
+        compiled = compile_ensemble(ensemble)
+        csc = small_sparse.csc()
+        np.testing.assert_array_equal(
+            compiled.raw_scores(csc), ensemble.raw_scores(csc)
+        )
+
+    def test_bit_identical_multiclass(self, small_multiclass):
+        cfg = TrainConfig(num_trees=3, num_layers=4, num_candidates=8,
+                          objective="multiclass", num_classes=4)
+        ensemble = GBDT(cfg).fit(small_multiclass).ensemble
+        compiled = compile_ensemble(ensemble)
+        assert compiled.gradient_dim == 4
+        csc = small_multiclass.csc()
+        np.testing.assert_array_equal(
+            compiled.raw_scores(csc), ensemble.raw_scores(csc)
+        )
+
+    def test_csr_and_dense_inputs_agree(self, trained, compiled):
+        ensemble, dataset = trained
+        csc = dataset.csc()
+        csr = csc.to_csr() if hasattr(csc, "to_csr") else dataset.features
+        want = ensemble.raw_scores(csc)
+        np.testing.assert_array_equal(compiled.raw_scores(csr), want)
+        np.testing.assert_array_equal(
+            compiled.raw_scores(compiled.densify(csc)), want
+        )
+
+    def test_num_trees_prefix(self, trained, compiled):
+        ensemble, dataset = trained
+        csc = dataset.csc()
+        for use in (0, 1, 2, len(ensemble), len(ensemble) + 5):
+            np.testing.assert_array_equal(
+                compiled.raw_scores(csc, num_trees=use),
+                ensemble.raw_scores(csc, num_trees=use),
+            )
+
+    def test_narrow_batch_padded(self, trained, compiled):
+        # a batch with fewer columns than the model expects: the extra
+        # columns are all-missing, same as an empty tail in sparse form
+        ensemble, dataset = trained
+        dense = compiled.densify(dataset.csc())
+        narrow = dense[:, :3].copy()
+        rows = [
+            [(j, float(v)) for j, v in enumerate(row) if not np.isnan(v)]
+            for row in narrow
+        ]
+        # reference CSC keeps full width (empty tail columns = missing)
+        csr = CSRMatrix.from_rows(rows, compiled.num_features)
+        np.testing.assert_array_equal(
+            compiled.raw_scores(narrow),
+            ensemble.raw_scores(csr.to_csc()),
+        )
+
+    def test_empty_ensemble(self):
+        compiled = compile_ensemble(TreeEnsemble(2, 0.1))
+        scores = compiled.raw_scores(np.zeros((5, 3)))
+        np.testing.assert_array_equal(scores, np.zeros((5, 2)))
+
+    def test_single_leaf_tree(self):
+        tree = Tree(2, 1)
+        tree.set_leaf(0, np.array([0.75]))
+        ensemble = TreeEnsemble(1, 0.3)
+        ensemble.append(tree)
+        compiled = compile_ensemble(ensemble)
+        scores = compiled.raw_scores(np.full((4, 1), np.nan))
+        np.testing.assert_array_equal(scores, np.full((4, 1), 0.3 * 0.75))
+
+
+class TestInputHandling:
+    def test_densify_rejects_bad_inputs(self, compiled):
+        with pytest.raises(ValueError, match="2-D"):
+            compiled.densify(np.zeros(3))
+        with pytest.raises(TypeError, match="unsupported batch"):
+            compiled.densify([[1.0, 2.0]])
+        with pytest.raises(TypeError, match="unsupported batch"):
+            compiled.raw_scores([[1.0, 2.0]])
+
+    def test_densify_passthrough_and_pad(self, compiled):
+        width = compiled.num_features
+        exact = np.zeros((2, width))
+        assert compiled.densify(exact).shape == (2, width)
+        padded = compiled.densify(np.zeros((2, 1)))
+        assert padded.shape == (2, width)
+        assert np.isnan(padded[:, 1:]).all()
+
+    def test_densify_csr_matches_csc(self, trained, compiled):
+        csc = trained[1].csc()
+        np.testing.assert_array_equal(
+            compiled.densify(csc.to_csr()), compiled.densify(csc)
+        )
+
+    def test_assign_leaves_reach_leaf_slots(self, trained, compiled):
+        dense = compiled.densify(trained[1].csc())
+        for tree in range(compiled.num_trees):
+            slots = compiled.assign_leaves(dense, tree)
+            assert np.all(compiled.leaf_slot[slots] >= 0)
+            assert np.all(slots >= compiled.tree_root[tree])
+            assert np.all(slots < compiled.tree_root[tree + 1])
+
+
+class TestEveryPlan:
+    """The acceptance sweep: every registry plan's trained model compiles
+    to a bit-identical predictor."""
+
+    @pytest.mark.parametrize("plan_key", sorted(PLANS))
+    def test_plan_model_bit_identical(self, plan_key, small_binary):
+        cfg = TrainConfig(num_trees=2, num_layers=4, num_candidates=8)
+        cluster = ClusterConfig(num_workers=3)
+        system = make_system(plan_key, cfg, cluster)
+        ensemble = system.fit(small_binary).ensemble
+        compiled = compile_ensemble(ensemble)
+        csc = small_binary.csc()
+        np.testing.assert_array_equal(
+            compiled.raw_scores(csc), ensemble.raw_scores(csc)
+        )

@@ -1,0 +1,116 @@
+"""Model-registry tests: versioning, checksums, hot-swap, rollback."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import GBDT, TrainConfig
+from repro.core.serialize import (ensemble_to_dict, payload_checksum,
+                                  save_ensemble)
+from repro.serve import ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def models(small_binary):
+    big = GBDT(TrainConfig(num_trees=4, num_layers=4,
+                           num_candidates=8)).fit(small_binary).ensemble
+    small = GBDT(TrainConfig(num_trees=2, num_layers=3,
+                             num_candidates=8)).fit(small_binary).ensemble
+    return big, small
+
+
+class TestPublish:
+    def test_first_publish_auto_activates(self, models):
+        registry = ModelRegistry()
+        entry = registry.publish(models[0])
+        assert entry.version == 1
+        assert registry.active is entry
+        assert len(registry) == 1
+
+    def test_later_publish_does_not_swap(self, models):
+        registry = ModelRegistry()
+        registry.publish(models[0])
+        second = registry.publish(models[1])
+        assert second.version == 2
+        assert registry.active.version == 1
+
+    def test_checksum_matches_serializer(self, models):
+        registry = ModelRegistry()
+        entry = registry.publish(models[0])
+        payload = ensemble_to_dict(models[0])
+        assert entry.checksum == payload_checksum(payload)
+        assert entry.nbytes > 0
+        assert entry.objective == "binary"
+        assert "sha256:" in str(entry)
+
+    def test_publish_payload_dict(self, models):
+        registry = ModelRegistry()
+        entry = registry.publish(ensemble_to_dict(models[0]))
+        assert entry.compiled.num_trees == len(models[0])
+
+    def test_publish_file_and_checksum_guard(self, models, tmp_path):
+        path = tmp_path / "model.json"
+        save_ensemble(models[0], path)
+        expected = payload_checksum(json.loads(path.read_text()))
+        registry = ModelRegistry()
+        entry = registry.publish_file(path, expected_checksum=expected)
+        assert entry.source == str(path)
+        assert entry.checksum == expected
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            registry.publish_file(path, expected_checksum="0" * 64)
+
+    def test_publish_file_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        with pytest.raises(ValueError, match="not a valid model"):
+            ModelRegistry().publish_file(path)
+
+    def test_published_model_serves_exactly(self, models, small_binary):
+        registry = ModelRegistry()
+        entry = registry.publish(models[0])
+        csc = small_binary.csc()
+        np.testing.assert_array_equal(
+            entry.compiled.raw_scores(csc), models[0].raw_scores(csc)
+        )
+
+
+class TestActivePointer:
+    def test_no_active_raises(self):
+        registry = ModelRegistry()
+        assert not registry.has_active
+        with pytest.raises(LookupError, match="no active"):
+            registry.active
+
+    def test_activate_flips_atomically(self, models):
+        registry = ModelRegistry()
+        registry.publish(models[0])
+        registry.publish(models[1])
+        registry.activate(2)
+        assert registry.active.version == 2
+        assert registry.activation_log == [1, 2]
+
+    def test_unknown_version(self, models):
+        registry = ModelRegistry()
+        registry.publish(models[0])
+        with pytest.raises(KeyError, match="unknown model version 7"):
+            registry.activate(7)
+
+    def test_rollback_walks_history(self, models):
+        registry = ModelRegistry()
+        registry.publish(models[0])
+        registry.publish(models[1])
+        registry.activate(2)
+        assert registry.rollback().version == 1
+        assert registry.active.version == 1
+        with pytest.raises(LookupError, match="no previous"):
+            registry.rollback()
+
+    def test_versions_listing(self, models):
+        registry = ModelRegistry()
+        registry.publish(models[0])
+        registry.publish(models[1])
+        assert [v.version for v in registry.versions()] == [1, 2]
+        assert "active=1" in repr(registry)

@@ -1,0 +1,137 @@
+"""Replica-set tests: deploy accounting, balancing, stragglers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, GBDT, TrainConfig
+from repro.config import NetworkModel
+from repro.serve import (BatchPolicy, DEPLOY_KIND, MicroBatcher,
+                         ModelRegistry, ReplicaSet, synthetic_trace)
+
+
+@pytest.fixture(scope="module")
+def registry(small_binary):
+    registry = ModelRegistry()
+    registry.publish(GBDT(TrainConfig(
+        num_trees=3, num_layers=4, num_candidates=8,
+    )).fit(small_binary).ensemble)
+    registry.publish(GBDT(TrainConfig(
+        num_trees=1, num_layers=3, num_candidates=8,
+    )).fit(small_binary).ensemble)
+    return registry
+
+
+def make_trace(registry, n=200, seed=2, rate=5000.0):
+    return synthetic_trace(
+        n, registry.active.compiled.num_features, rate, seed=seed,
+    )
+
+
+class TestDeploy:
+    def test_deploy_bytes_exact(self, registry):
+        replicas = ReplicaSet(registry, ClusterConfig(num_workers=3))
+        replicas.deploy(1)
+        assert replicas.deploy_bytes == 3 * registry.get(1).nbytes
+        replicas.deploy(2)
+        assert replicas.deploy_bytes == 3 * (registry.get(1).nbytes
+                                             + registry.get(2).nbytes)
+        snapshot = replicas.network.snapshot()
+        assert set(snapshot.bytes_by_kind) == {DEPLOY_KIND}
+        assert replicas.deployed_versions() == [2, 2, 2]
+
+    def test_deploy_time_follows_network_model(self, registry):
+        network = NetworkModel(bandwidth_gbps=1.0, latency_s=0.01)
+        replicas = ReplicaSet(
+            registry, ClusterConfig(num_workers=2, network=network)
+        )
+        replicas.deploy(1, at_s=5.0)
+        expected = 5.0 + network.transfer_time(registry.get(1).nbytes)
+        assert replicas.next_free_s() == pytest.approx(expected)
+
+    def test_serving_before_deploy_rejected(self, registry):
+        replicas = ReplicaSet(registry, ClusterConfig(num_workers=2))
+        with pytest.raises(RuntimeError, match="no model"):
+            replicas.dispatch(np.zeros((1, 4)), 0.0)
+
+    def test_unknown_balancer(self, registry):
+        with pytest.raises(ValueError, match="unknown balancer"):
+            ReplicaSet(registry, balancer="random")
+
+
+class TestBalancing:
+    def test_round_robin_cycles_workers(self, registry):
+        replicas = ReplicaSet(
+            registry, ClusterConfig(num_workers=3),
+            balancer="round-robin", service_model=lambda k: 1e-4,
+        )
+        replicas.deploy()
+        trace = make_trace(registry)
+        report = MicroBatcher(replicas, BatchPolicy(16, 0.001)).run(trace)
+        workers = [b.worker for b in report.batches]
+        assert workers[:6] == [0, 1, 2, 0, 1, 2]
+
+    def test_least_loaded_prefers_fast_worker(self, registry):
+        # worker 1 is 10x faster; under sustained load it should take
+        # the lion's share of batches
+        cluster = ClusterConfig(num_workers=2,
+                                worker_speeds=(0.1, 1.0))
+        replicas = ReplicaSet(registry, cluster, balancer="least-loaded",
+                              service_model=lambda k: 2e-4)
+        replicas.deploy()
+        trace = make_trace(registry, n=400, rate=50_000.0)
+        report = MicroBatcher(replicas, BatchPolicy(16, 0.0005)).run(trace)
+        counts = np.bincount([b.worker for b in report.batches],
+                             minlength=2)
+        assert counts[1] > counts[0] * 2
+
+    def test_straggler_slows_service(self, registry):
+        slow = ReplicaSet(
+            registry,
+            ClusterConfig(num_workers=1, worker_speeds=(0.5,)),
+            service_model=lambda k: 1e-3,
+        )
+        slow.deploy()
+        result = slow.dispatch(np.zeros((4, 4)), 0.0)
+        assert result.completion_s - result.start_s == \
+            pytest.approx(2e-3)
+
+
+class TestHotSwapUnderTraffic:
+    def test_swap_is_atomic_and_accounted(self, registry):
+        workers = 4
+        replicas = ReplicaSet(
+            registry, ClusterConfig(num_workers=workers),
+            balancer="least-loaded", service_model=lambda k: 2e-4,
+        )
+        replicas.deploy(1)
+        trace = make_trace(registry, n=300, seed=8)
+        swap_at = float(trace.arrivals[150])
+        report = MicroBatcher(replicas, BatchPolicy(16, 0.001)).run(
+            trace, swaps=[(swap_at, replicas.deployer(2))]
+        )
+        # every request served by exactly one version
+        assert report.versions_served() == [1, 2]
+        for batch in report.batches:
+            versions = {r.model_version for r in report.records
+                        if r.batch_id == batch.batch_id}
+            assert len(versions) == 1
+        # all requests served, none dropped during the swap
+        assert sorted(r.request_id for r in report.records) == \
+            list(range(300))
+        # deploy traffic: both rollouts, every worker, exact bytes
+        expected = workers * (registry.get(1).nbytes
+                              + registry.get(2).nbytes)
+        assert replicas.deploy_bytes == expected
+        # the deployer also flipped the registry pointer
+        assert registry.active.version == 2
+
+    def test_deployer_with_explicit_entry_skips_activate(self, registry):
+        registry.activate(1)
+        replicas = ReplicaSet(registry, ClusterConfig(num_workers=2),
+                              service_model=lambda k: 1e-4)
+        replicas.deploy(1)
+        replicas.deployer(registry.get(2))(0.5)
+        assert replicas.deployed_versions() == [2, 2]
+        assert registry.active.version == 1  # pointer untouched

@@ -79,6 +79,58 @@ class TestTrainPredict:
         np.testing.assert_allclose(values.sum(axis=1), 1.0, atol=1e-4)
 
 
+class TestServeBench:
+    def test_smoke_end_to_end(self, capsys):
+        assert main(["serve-bench", "--smoke", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "exact=True" in out
+        assert "hot-swap" in out
+        assert "single-version batches=True" in out
+        assert "deploy:model traffic:" in out
+
+    def test_saved_model_served(self, tmp_path, capsys):
+        data = tmp_path / "train.libsvm"
+        main(["datagen", str(data), "--instances", "300",
+              "--features", "12", "--density", "0.6"])
+        model = tmp_path / "model.json"
+        main(["train", "--data", str(data), "--trees", "3",
+              "--layers", "4", "--workers", "2",
+              "--model-out", str(model)])
+        capsys.readouterr()
+        assert main(["serve-bench", "--smoke", "--model",
+                     str(model)]) == 0
+        out = capsys.readouterr().out
+        assert "exact=True" in out
+        # a single published version means no hot-swap leg
+        assert "hot-swap" not in out
+
+
+class TestPredictMetadata:
+    def test_multiclass_routed_by_model_metadata(self, tmp_path):
+        # the predict command must read the objective from the model
+        # file, not guess from the score shape
+        from repro import GBDT, TrainConfig, make_classification, \
+            save_ensemble
+        from repro.data.io import write_libsvm
+
+        ds = make_classification(150, 10, num_classes=3, density=0.7,
+                                 seed=9)
+        cfg = TrainConfig(num_trees=2, num_layers=3,
+                          objective="multiclass", num_classes=3)
+        ensemble = GBDT(cfg).fit(ds).ensemble
+        assert ensemble.objective == "multiclass"
+        model = tmp_path / "mc.json"
+        save_ensemble(ensemble, model)
+        data = tmp_path / "mc.libsvm"
+        write_libsvm(ds, data)
+        preds = tmp_path / "preds.txt"
+        assert main(["predict", str(model), str(data),
+                     "--output", str(preds)]) == 0
+        values = np.loadtxt(preds)
+        assert values.shape == (150, 3)
+        np.testing.assert_allclose(values.sum(axis=1), 1.0, atol=1e-4)
+
+
 class TestFaultyTrain:
     def test_train_with_faults_reports_recovery(self, capsys):
         assert main([
