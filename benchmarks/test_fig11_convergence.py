@@ -72,3 +72,36 @@ def test_fig11_convergence(benchmark, binned_cache, record_table,
         times = {name: r.evals[-1].elapsed_seconds
                  for name, r in results.items()}
         assert times["vero"] < times["xgboost"]
+
+
+#: maximum final-AUC delta the lossy f16 histogram codec may cost
+F16_AUC_EPSILON = 1e-3
+#: trees for the codec case: enough boosting rounds that both runs
+#: converge and the quantization noise washes out of the final metric
+F16_TREES = 32
+
+
+def test_fig11_f16_codec_auc_within_epsilon(binned_cache):
+    """The opt-in f16 histogram codec (DimBoost-style low precision)
+    quarters aggregation bytes at a bounded convergence cost: the final
+    validation AUC on the Figure 11 sparse workload stays within
+    ``F16_AUC_EPSILON`` of the dense run."""
+    dataset = load_catalog("rcv1", scale=SCALE)
+    train, valid = dataset.split(0.8, seed=0)
+    binned = binned_cache.get(train, 20)
+    results = {}
+    for codec in ("none", "f16"):
+        cfg = TrainConfig(num_trees=F16_TREES, num_layers=6,
+                          num_candidates=20, learning_rate=0.3,
+                          codec=codec)
+        system = make_system("qd2", cfg, ClusterConfig(num_workers=5))
+        results[codec] = system.fit(binned, valid=valid)
+    final = {codec: r.evals[-1] for codec, r in results.items()}
+    assert final["none"].metric_name == "auc"
+    assert abs(final["none"].metric_value
+               - final["f16"].metric_value) <= F16_AUC_EPSILON, final
+    # the quality trade bought real wire savings
+    assert results["f16"].comm.total_bytes < \
+        results["none"].comm.total_bytes / 2
+    # lossy codecs are strictly opt-in: the default config ships dense
+    assert TrainConfig().codec == ""

@@ -81,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "'42:crash=2,drop=0.05,timeout=0.01' "
                             "(keys: crash, drop, timeout, backoff, "
                             "timeout-s, retries)")
+    train.add_argument("--codec", default="none",
+                       choices=("none", "sparse", "delta", "f32", "f16"),
+                       help="wire-format codec for inter-worker payloads "
+                            "(sparse/delta are lossless; f32/f16 "
+                            "quantize histograms)")
 
     predict = sub.add_parser("predict",
                              help="score a libsvm file with a model")
@@ -127,6 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--crash-rate", type=float, default=0.0,
                         help="expected worker crashes per tree; adds an "
                              "expected-recovery-cost term to the ranking")
+    advise.add_argument("--codec", default="none",
+                        choices=("none", "sparse", "f32", "f16"),
+                        help="price horizontal aggregation with this "
+                             "codec's encoded bytes")
 
     return parser
 
@@ -167,6 +176,7 @@ def cmd_train(args) -> int:
         num_classes=num_classes if multiclass else 2,
         plan=args.plan or "",
         faults=args.faults,
+        codec=args.codec,
     )
     cluster = ClusterConfig(
         num_workers=args.workers,
@@ -186,6 +196,14 @@ def cmd_train(args) -> int:
     print(f"per tree: comp={result.mean_comp_seconds() * 1e3:.1f}ms "
           f"comm={result.mean_comm_seconds() * 1e3:.1f}ms "
           f"wire={wire_mb:.2f}MB")
+    savings = result.comm.codec_savings_by_kind()
+    if savings:
+        saved = sum(savings.values())
+        ratio = (result.comm.total_bytes + saved) \
+            / max(result.comm.total_bytes, 1)
+        kinds = ", ".join(k.split(":", 1)[1] for k in sorted(savings))
+        print(f"codec={args.codec}: saved {saved / 1e6:.2f}MB on the "
+              f"wire ({ratio:.2f}x total reduction; {kinds})")
     print(f"peak worker memory: data="
           f"{result.memory.data_bytes / 1e6:.2f}MB histograms="
           f"{result.memory.histogram_bytes / 1e6:.2f}MB")
@@ -357,6 +375,7 @@ def cmd_advise(args) -> int:
         network=NetworkModel(bandwidth_gbps=args.bandwidth_gbps),
         memory_budget_bytes=budget,
         crash_rate=args.crash_rate,
+        codec=args.codec,
     )
     print(f"recommendation: {rec.best.quadrant} "
           f"({rec.best.description})")
@@ -369,6 +388,11 @@ def cmd_advise(args) -> int:
         print(f"  {est.quadrant}: comp={est.comp_seconds * 1e3:9.1f}ms "
               f"comm={est.comm_seconds * 1e3:9.1f}ms "
               f"hist-mem={est.histogram_memory_bytes / 2**30:7.2f}GiB")
+    print("\nprojected histogram-aggregation byte reduction by codec:")
+    for codec, ratio in sorted(rec.codec_projections.items()):
+        lossless = codec == "sparse"
+        tag = "lossless" if lossless else "lossy, opt-in"
+        print(f"  {codec}: {ratio:6.2f}x ({tag})")
     return 0
 
 

@@ -119,6 +119,7 @@ def record_collective(
     payload_bytes: int,
     num_workers: int,
     pattern: str,
+    encoded_worker_bytes: Optional[Sequence[int]] = None,
 ) -> float:
     """Charge one collective operation over ``payload_bytes`` of payload.
 
@@ -127,6 +128,15 @@ def record_collective(
     callers accumulate a layer's payload and charge it here.  ``pattern``
     names a :data:`COLLECTIVES` cost model (``allreduce``,
     ``reducescatter`` or ``ps``).
+
+    When a codec compressed the payload, ``encoded_worker_bytes`` gives
+    each worker's encoded size for the same logical payload.  Worker
+    ``w`` then puts ``per_worker_bytes(e_w, W)`` on the wire, elapsed
+    time follows the *largest* encoded payload (a collective finishes
+    with its slowest participant), and ``payload_bytes`` — the dense
+    baseline — is accounted as the operation's raw size so the
+    ``codec:`` ledger dimension can report the saving.  Without it the
+    accounting is byte- and float-identical to the pre-codec ledger.
     """
     if num_workers < 1:
         raise ValueError("num_workers must be >= 1")
@@ -138,8 +148,24 @@ def record_collective(
     if num_workers == 1 or payload_bytes == 0:
         return 0.0
     per_worker = collective.per_worker_bytes(payload_bytes, num_workers)
-    seconds = collective.seconds(payload_bytes, num_workers, net.model)
-    net.record(kind, int(per_worker * num_workers), seconds)
+    if encoded_worker_bytes is None:
+        seconds = collective.seconds(payload_bytes, num_workers,
+                                     net.model)
+        net.record(kind, int(per_worker * num_workers), seconds)
+        return seconds
+    if len(encoded_worker_bytes) != num_workers:
+        raise ValueError(
+            f"need one encoded size per worker: got "
+            f"{len(encoded_worker_bytes)} for {num_workers} workers"
+        )
+    wire = int(sum(
+        collective.per_worker_bytes(enc, num_workers)
+        for enc in encoded_worker_bytes
+    ))
+    raw = int(per_worker * num_workers)
+    seconds = collective.seconds(max(encoded_worker_bytes),
+                                 num_workers, net.model)
+    net.record(kind, wire, seconds, raw_nbytes=max(raw, wire))
     return seconds
 
 
@@ -217,8 +243,13 @@ def ps_push_histograms(
 def broadcast_bytes(
     nbytes: int, num_workers: int, net: SimulatedNetwork,
     kind: str = "broadcast",
+    raw_nbytes: Optional[int] = None,
 ) -> float:
-    """Flat-tree broadcast from one owner to the other ``W - 1`` workers."""
+    """Flat-tree broadcast from one owner to the other ``W - 1`` workers.
+
+    ``raw_nbytes`` is the per-receiver dense baseline when ``nbytes``
+    is an encoded payload (see ``SimulatedNetwork.record``).
+    """
     if num_workers < 1:
         raise ValueError("num_workers must be >= 1")
     receivers = num_workers - 1
@@ -228,7 +259,8 @@ def broadcast_bytes(
         receivers * nbytes / net.model.bytes_per_second
         + net.model.latency_s
     )
-    net.record(kind, receivers * nbytes, seconds)
+    net.record(kind, receivers * nbytes, seconds,
+               None if raw_nbytes is None else receivers * raw_nbytes)
     return seconds
 
 

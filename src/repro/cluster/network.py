@@ -36,11 +36,22 @@ if TYPE_CHECKING:
 
 @dataclass
 class CommRecord:
-    """One recorded communication operation."""
+    """One recorded communication operation.
+
+    ``nbytes`` is what actually crossed the (simulated) wire; when a
+    codec shrank the payload, ``raw_nbytes`` holds the dense baseline
+    size so the ledger can account the saving.  For un-encoded traffic
+    the two are equal.
+    """
 
     kind: str
     nbytes: int
     seconds: float
+    raw_nbytes: int = -1
+
+    def __post_init__(self) -> None:
+        if self.raw_nbytes < 0:
+            self.raw_nbytes = self.nbytes
 
 
 @dataclass
@@ -51,6 +62,28 @@ class CommStats:
     total_seconds: float = 0.0
     bytes_by_kind: Dict[str, int] = field(default_factory=dict)
     seconds_by_kind: Dict[str, float] = field(default_factory=dict)
+    raw_bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def codec_savings_by_kind(self) -> Dict[str, int]:
+        """Bytes each codec saved, keyed ``codec:<kind>``.
+
+        This is the reporting dimension for compression: entries exist
+        only for kinds where a codec actually shrank the payload
+        (``raw > wire``), so with the identity codec the dict is empty
+        and the ledger is indistinguishable from the pre-codec one.
+        """
+        savings: Dict[str, int] = {}
+        for kind, raw in self.raw_bytes_by_kind.items():
+            wire = self.bytes_by_kind.get(kind, 0)
+            if raw > wire:
+                savings["codec:" + kind] = raw - wire
+        return savings
+
+    @property
+    def total_raw_bytes(self) -> int:
+        """Dense-baseline total: wire bytes plus every codec saving."""
+        return self.total_bytes + sum(
+            self.codec_savings_by_kind().values())
 
     def minus(self, earlier: "CommStats") -> "CommStats":
         """Traffic between two snapshots.
@@ -75,6 +108,12 @@ class CommStats:
                 - earlier.seconds_by_kind.get(key, 0.0)
             if diff:
                 delta.seconds_by_kind[key] = diff
+        for key in (self.raw_bytes_by_kind.keys()
+                    | earlier.raw_bytes_by_kind.keys()):
+            diff = self.raw_bytes_by_kind.get(key, 0) \
+                - earlier.raw_bytes_by_kind.get(key, 0)
+            if diff:
+                delta.raw_bytes_by_kind[key] = diff
         return delta
 
 
@@ -88,13 +127,21 @@ class SimulatedNetwork:
         self.records: List[CommRecord] = []
         self._stats = CommStats()
 
-    def record(self, kind: str, nbytes: int, seconds: float) -> None:
+    def record(self, kind: str, nbytes: int, seconds: float,
+               raw_nbytes: Optional[int] = None) -> None:
         """Account one already-costed operation.
+
+        ``raw_nbytes`` (default: ``nbytes``) is the dense baseline size
+        when a codec shrank the payload; the difference surfaces under
+        the ``codec:<kind>`` reporting dimension of
+        :meth:`CommStats.codec_savings_by_kind` without ever entering
+        ``total_bytes`` — wire totals stay what actually crossed.
 
         With a fault injector attached, transient drops/timeouts of the
         operation are charged first (one ``retry:<kind>`` record per
         failed attempt: re-sent payload plus detection delay and
-        exponential backoff), then the successful send.
+        exponential backoff), then the successful send.  Retries re-send
+        the *encoded* payload, so they carry the same raw/wire pair.
         """
         if not math.isfinite(nbytes):
             raise ValueError(f"bytes must be finite, got {nbytes}")
@@ -103,6 +150,11 @@ class SimulatedNetwork:
             raise ValueError(f"seconds must be finite, got {seconds}")
         if nbytes < 0 or seconds < 0:
             raise ValueError("bytes and seconds must be >= 0")
+        raw_nbytes = nbytes if raw_nbytes is None else int(raw_nbytes)
+        if raw_nbytes < nbytes:
+            raise ValueError(
+                f"raw bytes ({raw_nbytes}) below wire bytes ({nbytes})"
+            )
         injector = self.injector
         if injector is not None and not kind.startswith(FAULT_PREFIXES):
             faults = injector.transport_faults(kind)
@@ -110,11 +162,13 @@ class SimulatedNetwork:
                 self._commit(
                     "retry:" + kind, nbytes,
                     injector.retry_seconds(attempt, seconds, fault),
+                    raw_nbytes,
                 )
-        self._commit(kind, nbytes, seconds)
+        self._commit(kind, nbytes, seconds, raw_nbytes)
 
-    def _commit(self, kind: str, nbytes: int, seconds: float) -> None:
-        self.records.append(CommRecord(kind, nbytes, seconds))
+    def _commit(self, kind: str, nbytes: int, seconds: float,
+                raw_nbytes: int) -> None:
+        self.records.append(CommRecord(kind, nbytes, seconds, raw_nbytes))
         self._stats.total_bytes += nbytes
         self._stats.total_seconds += seconds
         self._stats.bytes_by_kind[kind] = (
@@ -123,11 +177,19 @@ class SimulatedNetwork:
         self._stats.seconds_by_kind[kind] = (
             self._stats.seconds_by_kind.get(kind, 0.0) + seconds
         )
+        self._stats.raw_bytes_by_kind[kind] = (
+            self._stats.raw_bytes_by_kind.get(kind, 0) + raw_nbytes
+        )
 
-    def transfer(self, kind: str, nbytes: int) -> float:
-        """Account a point-to-point transfer; returns its simulated time."""
+    def transfer(self, kind: str, nbytes: int,
+                 raw_nbytes: Optional[int] = None) -> float:
+        """Account a point-to-point transfer; returns its simulated time.
+
+        ``raw_nbytes`` is the dense baseline when ``nbytes`` is an
+        encoded payload (see :meth:`record`).
+        """
         seconds = self.model.transfer_time(nbytes)
-        self.record(kind, nbytes, seconds)
+        self.record(kind, nbytes, seconds, raw_nbytes)
         return seconds
 
     def mark(self) -> int:
@@ -169,6 +231,9 @@ class SimulatedNetwork:
             stats.seconds_by_kind[rec.kind] = (
                 stats.seconds_by_kind.get(rec.kind, 0.0) + rec.seconds
             )
+            stats.raw_bytes_by_kind[rec.kind] = (
+                stats.raw_bytes_by_kind.get(rec.kind, 0) + rec.raw_nbytes
+            )
         self._stats = stats
 
     def snapshot(self) -> CommStats:
@@ -178,6 +243,7 @@ class SimulatedNetwork:
             total_seconds=self._stats.total_seconds,
             bytes_by_kind=dict(self._stats.bytes_by_kind),
             seconds_by_kind=dict(self._stats.seconds_by_kind),
+            raw_bytes_by_kind=dict(self._stats.raw_bytes_by_kind),
         )
 
     @property

@@ -75,6 +75,15 @@ class TrainConfig:
         Parsed by :meth:`repro.cluster.faults.FaultPlan.parse` at build
         time, not here — like ``plan``, the config layer stays free of
         cluster imports.
+    codec:
+        Wire-format codec stack for inter-worker payloads (``"none"``,
+        ``"sparse"``, ``"delta"``, ``"f32"``, ``"f16"``); the empty
+        string means ``"none"`` (dense float64 payloads, the paper's
+        accounting).  Lossy stacks (``f32``/``f16``) trade model
+        bit-identity for bytes and are strictly opt-in.  Resolved by
+        :func:`repro.cluster.codecs.get_codec_stack` at build time, not
+        here — like ``plan``, the config layer stays free of cluster
+        imports.
     """
 
     num_trees: int = 100
@@ -95,6 +104,7 @@ class TrainConfig:
     seed: int = 0
     plan: str = ""
     faults: str = ""
+    codec: str = ""
 
     def __post_init__(self) -> None:
         if self.num_trees < 1:

@@ -17,9 +17,9 @@ package turns them into production-shaped inference:
 """
 
 from .batcher import (BatchPolicy, BatchRecord, DispatchResult,
-                      LatencyStats, MicroBatcher, ModelServer,
-                      RequestRecord, RequestTrace, ServingReport,
-                      synthetic_trace)
+                      DropRecord, LatencyStats, MicroBatcher,
+                      ModelServer, RequestRecord, RequestTrace,
+                      ServingReport, synthetic_trace)
 from .compiler import CompiledEnsemble, compile_ensemble
 from .registry import ModelRegistry, ModelVersion
 from .replica import DEPLOY_KIND, ReplicaSet
@@ -30,6 +30,7 @@ __all__ = [
     "CompiledEnsemble",
     "DEPLOY_KIND",
     "DispatchResult",
+    "DropRecord",
     "LatencyStats",
     "MicroBatcher",
     "ModelRegistry",

@@ -39,16 +39,47 @@ SwapEvent = Tuple[float, Callable[[float], None]]
 @dataclass(frozen=True)
 class BatchPolicy:
     """Dispatch a batch at ``max_batch_size`` requests or after the
-    oldest request has waited ``max_delay_s``, whichever happens first."""
+    oldest request has waited ``max_delay_s``, whichever happens first.
+
+    ``max_queue`` bounds the admission queue (0 = unbounded, the
+    default).  When offered load exceeds capacity a bounded queue fills
+    and the ``overload`` policy decides who pays: ``"reject"`` drops the
+    *newcomer* at its arrival (drop-tail — queued requests keep their
+    place, admission latency is predictable), ``"shed-oldest"`` drops
+    the *head* of the queue to admit the newcomer (drop-head — the
+    request most likely to already be uselessly stale is sacrificed,
+    as in SEDA-style load shedding).  Dropped requests appear in the
+    :class:`ServingReport` ledger and the drop rate in
+    :class:`LatencyStats`.
+    """
 
     max_batch_size: int = 64
     max_delay_s: float = 0.002
+    max_queue: int = 0
+    overload: str = "reject"
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if not (self.max_delay_s >= 0.0):
             raise ValueError("max_delay_s must be >= 0")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0 (0 = unbounded)")
+        if 0 < self.max_queue < self.max_batch_size:
+            raise ValueError(
+                "a bounded queue must hold at least one full batch: "
+                f"max_queue={self.max_queue} < "
+                f"max_batch_size={self.max_batch_size}"
+            )
+        if self.overload not in ("reject", "shed-oldest"):
+            raise ValueError(
+                f"unknown overload policy: {self.overload!r} "
+                "(choose 'reject' or 'shed-oldest')"
+            )
+
+    @property
+    def bounded(self) -> bool:
+        return self.max_queue > 0
 
 
 @dataclass(frozen=True)
@@ -138,6 +169,26 @@ class RequestRecord:
         return self.start_s - self.arrival_s
 
 
+@dataclass(frozen=True)
+class DropRecord:
+    """Ledger entry for one request dropped by the overload policy.
+
+    ``reason`` is ``"reject"`` (drop-tail: the request was turned away
+    at arrival) or ``"shed-oldest"`` (drop-head: it was admitted but
+    evicted at ``drop_s`` to make room for a newer arrival).
+    """
+
+    request_id: int
+    arrival_s: float
+    drop_s: float
+    reason: str
+
+    @property
+    def queued_s(self) -> float:
+        """Time spent queued before the drop (0 for rejects)."""
+        return self.drop_s - self.arrival_s
+
+
 @dataclass
 class BatchRecord:
     """One dispatched micro-batch."""
@@ -175,12 +226,21 @@ class LatencyStats:
     mean_queue_s: float
     throughput_rps: float
     makespan_s: float
+    #: requests dropped by the overload policy (0 with an unbounded queue)
+    dropped: int = 0
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered requests dropped by the overload policy."""
+        offered = self.count + self.dropped
+        return self.dropped / offered if offered else 0.0
 
     @classmethod
-    def from_records(cls, records: Sequence[RequestRecord]
-                     ) -> "LatencyStats":
+    def from_records(cls, records: Sequence[RequestRecord],
+                     dropped: int = 0) -> "LatencyStats":
         if not records:
-            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                       dropped=dropped)
         lat = np.array([r.latency_s for r in records])
         queue = np.array([r.queue_s for r in records])
         p50, p95, p99 = np.percentile(lat, [50.0, 95.0, 99.0])
@@ -193,6 +253,7 @@ class LatencyStats:
             throughput_rps=len(records) / makespan if makespan > 0
             else float("inf"),
             makespan_s=float(makespan),
+            dropped=dropped,
         )
 
     def to_dict(self) -> dict:
@@ -203,6 +264,7 @@ class LatencyStats:
             "mean_queue_s": self.mean_queue_s,
             "throughput_rps": self.throughput_rps,
             "makespan_s": self.makespan_s,
+            "dropped": self.dropped, "drop_rate": self.drop_rate,
         }
 
 
@@ -212,12 +274,15 @@ class ServingReport:
 
     records: List[RequestRecord] = field(default_factory=list)
     batches: List[BatchRecord] = field(default_factory=list)
+    #: requests dropped by the overload policy, in drop order
+    dropped: List[DropRecord] = field(default_factory=list)
     #: per-request raw scores, ``(num_requests, gradient_dim)``;
     #: ``None`` unless the run collected them
     scores: Optional[np.ndarray] = None
 
     def latency_stats(self) -> LatencyStats:
-        return LatencyStats.from_records(self.records)
+        return LatencyStats.from_records(self.records,
+                                         dropped=len(self.dropped))
 
     def versions_served(self) -> List[int]:
         """Distinct model versions that served traffic, in first-use
@@ -304,7 +369,13 @@ class MicroBatcher:
         that closes at or after ``time_s`` resolves its model — so a
         swap lands exactly on a batch boundary and no batch straddles
         two versions.
+
+        With a bounded queue (``policy.max_queue > 0``) the run takes
+        the admission-controlled path: overflowing requests are dropped
+        per ``policy.overload`` and appear in ``report.dropped``.
         """
+        if self.policy.bounded:
+            return self._run_bounded(trace, swaps, collect_scores)
         policy = self.policy
         arrivals = trace.arrivals
         total = trace.num_requests
@@ -361,6 +432,101 @@ class MicroBatcher:
             i += size
         # late swaps (after the last close) still fire so a scheduled
         # deploy is never silently skipped
+        for when, action in pending_swaps[swap_i:]:
+            action(when)
+        if collect_scores:
+            report.scores = (np.concatenate(scores, axis=0) if scores
+                             else np.zeros((0, 0)))
+        return report
+
+    def _run_bounded(self, trace: RequestTrace,
+                     swaps: Sequence[SwapEvent],
+                     collect_scores: bool) -> ServingReport:
+        """Admission-controlled replay: a queue of at most ``max_queue``
+        requests, overflow resolved by the overload policy.
+
+        Requests are admitted at their arrival instant.  A full queue
+        either turns the newcomer away (``reject``) or evicts the
+        current queue head (``shed-oldest``); evicting the head restarts
+        the delay budget from the new head, so a shedding queue under
+        sustained overload keeps dispatching full, fresh batches.
+        ``report.records`` follows dispatch order (with shedding this is
+        not request order); ``report.scores`` rows align with it.
+        """
+        policy = self.policy
+        arrivals = trace.arrivals
+        total = trace.num_requests
+        pending_swaps = sorted(swaps, key=lambda s: s[0])
+        report = ServingReport()
+        if collect_scores:
+            scores: List[np.ndarray] = []
+        backlog: List[int] = []
+        i = 0
+        swap_i = 0
+        while i < total or backlog:
+            if not backlog:
+                backlog.append(i)
+                i += 1
+            free = self.backend.next_free_s()
+            if len(backlog) >= policy.max_batch_size:
+                # a full batch closes as soon as capacity frees (its
+                # fill arrival is necessarily in the past)
+                close = max(
+                    float(arrivals[backlog[policy.max_batch_size - 1]]),
+                    free)
+            else:
+                close = max(
+                    float(arrivals[backlog[0]]) + policy.max_delay_s,
+                    free)
+            if i < total and arrivals[i] <= close:
+                # the next arrival lands before this batch dispatches:
+                # an admission event — the queue absorbs it while there
+                # is room, otherwise the overload policy picks a victim
+                now = float(arrivals[i])
+                if len(backlog) < policy.max_queue:
+                    backlog.append(i)
+                elif policy.overload == "reject":
+                    report.dropped.append(
+                        DropRecord(i, now, now, "reject"))
+                else:
+                    victim = backlog.pop(0)
+                    report.dropped.append(DropRecord(
+                        victim, float(arrivals[victim]), now,
+                        "shed-oldest"))
+                    backlog.append(i)
+                i += 1
+                continue
+            size = min(len(backlog), policy.max_batch_size)
+            batch_ids = backlog[:size]
+            del backlog[:size]
+            while swap_i < len(pending_swaps) \
+                    and pending_swaps[swap_i][0] <= close:
+                when, action = pending_swaps[swap_i]
+                action(when)
+                swap_i += 1
+            result = self.backend.dispatch(
+                trace.features[batch_ids], float(close)
+            )
+            batch_id = len(report.batches)
+            report.batches.append(BatchRecord(
+                batch_id=batch_id, size=size, close_s=float(close),
+                start_s=result.start_s,
+                completion_s=result.completion_s,
+                worker=result.worker,
+                model_version=result.model_version,
+            ))
+            for request in batch_ids:
+                report.records.append(RequestRecord(
+                    request_id=request,
+                    arrival_s=float(arrivals[request]),
+                    batch_id=batch_id,
+                    start_s=result.start_s,
+                    completion_s=result.completion_s,
+                    worker=result.worker,
+                    model_version=result.model_version,
+                ))
+            if collect_scores:
+                scores.append(result.scores)
         for when, action in pending_swaps[swap_i:]:
             action(when)
         if collect_scores:

@@ -44,6 +44,9 @@ class ModelVersion:
     compiled: CompiledEnsemble
     ensemble: TreeEnsemble = field(repr=False)
     source: str = "<memory>"
+    #: the serialized payload dict — kept so successive versions can be
+    #: delta-encoded against each other without re-serializing
+    payload: Optional[dict] = field(default=None, repr=False)
 
     def __str__(self) -> str:
         return (f"v{self.version} ({self.objective}, "
@@ -88,6 +91,7 @@ class ModelRegistry:
             compiled=compile_ensemble(ensemble),
             ensemble=ensemble,
             source=source,
+            payload=payload,
         )
         self._versions[entry.version] = entry
         self._next_version += 1

@@ -32,7 +32,9 @@ from typing import Callable, Optional, Union
 import numpy as np
 
 from ..config import ClusterConfig
+from ..cluster.codecs import apply_model_delta, encode_model_delta
 from ..cluster.network import SimulatedNetwork
+from ..core.serialize import canonical_payload_bytes, payload_checksum
 from .batcher import DispatchResult
 from .registry import ModelRegistry, ModelVersion
 
@@ -57,8 +59,8 @@ class ReplicaSet:
                  cluster: Optional[ClusterConfig] = None,
                  network: Optional[SimulatedNetwork] = None,
                  balancer: str = "round-robin",
-                 service_model: Optional[Callable[[int], float]] = None
-                 ) -> None:
+                 service_model: Optional[Callable[[int], float]] = None,
+                 delta_deploys: bool = False) -> None:
         if balancer not in _BALANCERS:
             raise ValueError(
                 f"unknown balancer {balancer!r}; choose from {_BALANCERS}"
@@ -68,6 +70,7 @@ class ReplicaSet:
         self.network = network or SimulatedNetwork(self.cluster.network)
         self.balancer = balancer
         self.service_model = service_model
+        self.delta_deploys = delta_deploys
         self.num_workers = self.cluster.num_workers
         self._free = np.zeros(self.num_workers)
         self._deployed: list = [None] * self.num_workers
@@ -85,6 +88,16 @@ class ReplicaSet:
         transfer; the worker is busy installing for the transfer's
         duration, so in-flight traffic queues behind the rollout rather
         than racing it.
+
+        With ``delta_deploys`` enabled, a worker that already holds
+        another version receives only the tree-suffix delta against it
+        (:func:`~repro.cluster.codecs.encode_model_delta`) — the common
+        append-only rollout ships new trees, not the whole ensemble.
+        The delta is applied and checksum-verified before its bytes are
+        believed; an incompatible pair falls back to the full payload.
+        The ledger keeps ``raw_nbytes`` at the full payload size, so the
+        ``codec:deploy:model`` savings dimension reports what the deltas
+        avoided shipping.
         """
         if version is None:
             entry = self.registry.active
@@ -92,11 +105,37 @@ class ReplicaSet:
             entry = version
         else:
             entry = self.registry.get(int(version))
+        delta_nbytes: dict = {}   # predecessor version -> delta wire size
         for worker in range(self.num_workers):
-            seconds = self.network.transfer(DEPLOY_KIND, entry.nbytes)
+            wire = entry.nbytes
+            prev = self._deployed[worker]
+            if (self.delta_deploys and prev is not None
+                    and prev.payload is not None
+                    and entry.payload is not None):
+                if prev.version not in delta_nbytes:
+                    delta_nbytes[prev.version] = self._delta_bytes(
+                        prev, entry)
+                wire = min(delta_nbytes[prev.version] or wire,
+                           entry.nbytes)
+            seconds = self.network.transfer(DEPLOY_KIND, wire,
+                                            raw_nbytes=entry.nbytes)
             self._free[worker] = max(self._free[worker], at_s) + seconds
             self._deployed[worker] = entry
         return entry
+
+    @staticmethod
+    def _delta_bytes(prev: ModelVersion,
+                     new: ModelVersion) -> Optional[int]:
+        """Wire size of the delta from ``prev`` to ``new``, verified by
+        reconstructing ``new`` and checking its checksum; ``None`` when
+        the pair has no usable delta."""
+        delta = encode_model_delta(prev.payload, new.payload)
+        if delta is None:
+            return None
+        rebuilt = apply_model_delta(prev.payload, delta)
+        if payload_checksum(rebuilt) != new.checksum:
+            return None
+        return len(canonical_payload_bytes(delta))
 
     def deployer(self, version: Union[int, ModelVersion, None] = None
                  ) -> Callable[[float], None]:
@@ -152,8 +191,15 @@ class ReplicaSet:
 
     @property
     def deploy_bytes(self) -> int:
-        """Total bytes shipped under ``deploy:model`` so far."""
+        """Total wire bytes shipped under ``deploy:model`` so far."""
         return self.network.snapshot().bytes_by_kind.get(DEPLOY_KIND, 0)
+
+    @property
+    def deploy_raw_bytes(self) -> int:
+        """Pre-encoding bytes of every deploy — what full-payload
+        rollouts would have shipped."""
+        return self.network.snapshot().raw_bytes_by_kind.get(
+            DEPLOY_KIND, 0)
 
     def __repr__(self) -> str:
         return (f"ReplicaSet(workers={self.num_workers}, "

@@ -18,13 +18,14 @@ ranking against the simulator on representative regimes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..config import NetworkModel
 from .costmodel import (WorkloadShape, expected_recovery_seconds_per_tree,
-                        horizontal_comm_bytes_per_tree, sizehist_bytes,
-                        vertical_comm_bytes_per_tree)
+                        horizontal_comm_bytes_per_tree,
+                        horizontal_comm_bytes_per_tree_encoded,
+                        sizehist_bytes, vertical_comm_bytes_per_tree)
 from .plans import ExecutionPlan, get_plan
 
 #: key-value pair accesses per second of one worker core; the default is
@@ -92,6 +93,9 @@ class Recommendation:
     best: QuadrantEstimate
     ranking: List[QuadrantEstimate]
     reasons: List[str]
+    #: projected histogram-aggregation byte reduction per codec name
+    #: (dense bytes / encoded bytes; > 1 means the codec saves wire)
+    codec_projections: Dict[str, float] = field(default_factory=dict)
 
     @property
     def plan_key(self) -> str:
@@ -131,6 +135,7 @@ def estimate(
     network: NetworkModel = None,
     scan_rate: float = DEFAULT_SCAN_RATE,
     crash_rate: float = 0.0,
+    codec: str = "none",
 ) -> Dict[str, QuadrantEstimate]:
     """Per-tree cost estimates of all four quadrants.
 
@@ -139,6 +144,11 @@ def estimate(
     reshard of the crashed worker's rows, vertical quadrants a rollback
     of shared placement state, both plus half a tree of replayed
     aggregation traffic (DESIGN.md §9).
+
+    ``codec`` prices the horizontal quadrants' aggregation traffic with
+    the encoded-byte formula at the workload's expected histogram
+    density (the vertical quadrants' bitmap traffic is already minimal;
+    the adaptive placement codec can only improve on it).
     """
     if avg_nnz_per_instance <= 0:
         raise ValueError("avg_nnz_per_instance must be > 0")
@@ -147,7 +157,11 @@ def estimate(
     if network is None:
         network = NetworkModel()
     accesses = _access_counts(shape, avg_nnz_per_instance)
-    horizontal_bytes = horizontal_comm_bytes_per_tree(shape)
+    if codec == "none":
+        horizontal_bytes = horizontal_comm_bytes_per_tree(shape)
+    else:
+        horizontal_bytes = horizontal_comm_bytes_per_tree_encoded(
+            shape, avg_nnz_per_instance, codec)
     vertical_bytes = vertical_comm_bytes_per_tree(shape)
     bps = network.bytes_per_second
     layers = shape.num_layers - 1
@@ -178,6 +192,25 @@ def estimate(
     return out
 
 
+def codec_projections(
+    shape: WorkloadShape,
+    avg_nnz_per_instance: float,
+    codecs: tuple = ("sparse", "f32", "f16"),
+) -> Dict[str, float]:
+    """Projected histogram-aggregation byte reduction per codec.
+
+    Each entry is ``dense bytes / encoded bytes`` for one tree of
+    horizontal aggregation at the workload's expected density profile.
+    """
+    dense = horizontal_comm_bytes_per_tree(shape)
+    out: Dict[str, float] = {}
+    for codec in codecs:
+        encoded = horizontal_comm_bytes_per_tree_encoded(
+            shape, avg_nnz_per_instance, codec)
+        out[codec] = dense / encoded if encoded else float("inf")
+    return out
+
+
 def recommend(
     shape: WorkloadShape,
     avg_nnz_per_instance: float,
@@ -185,6 +218,7 @@ def recommend(
     memory_budget_bytes: float = None,
     scan_rate: float = DEFAULT_SCAN_RATE,
     crash_rate: float = 0.0,
+    codec: str = "none",
 ) -> Recommendation:
     """Pick the cheapest feasible quadrant for a workload.
 
@@ -193,10 +227,14 @@ def recommend(
     OOM scenario for horizontal partitioning on multi-class data.
     ``crash_rate`` folds an expected-recovery-cost term into the
     ranking, so an unreliable cluster can tip the verdict toward the
-    quadrant with the cheaper recovery policy.
+    quadrant with the cheaper recovery policy.  ``codec`` prices
+    horizontal aggregation with the named codec's encoded bytes, so a
+    sparse workload can tip the verdict back toward a horizontal
+    quadrant; the returned :attr:`Recommendation.codec_projections`
+    reports the projected byte reduction of every codec either way.
     """
     estimates = estimate(shape, avg_nnz_per_instance, network, scan_rate,
-                         crash_rate=crash_rate)
+                         crash_rate=crash_rate, codec=codec)
     reasons: List[str] = []
     feasible = []
     for est in estimates.values():
@@ -233,7 +271,20 @@ def recommend(
             f"runner-up {runner.quadrant} at "
             f"{runner.total_seconds * 1e3:.1f} ms per tree"
         )
-    return Recommendation(best=best, ranking=ranking, reasons=reasons)
+    projections = codec_projections(shape, avg_nnz_per_instance)
+    best_codec = max(("sparse",), key=lambda c: projections[c])
+    if projections[best_codec] > 1.05:
+        reasons.append(
+            f"lossless {best_codec} codec projects a "
+            f"{projections[best_codec]:.1f}x histogram-aggregation byte "
+            f"reduction at this density (train --codec {best_codec})"
+        )
+    if codec != "none":
+        reasons.append(
+            f"horizontal aggregation priced with the {codec!r} codec"
+        )
+    return Recommendation(best=best, ranking=ranking, reasons=reasons,
+                          codec_projections=projections)
 
 
 def calibrate_scan_rate(sample_seconds: float,

@@ -32,6 +32,7 @@ from ..core.loss import Loss, make_loss
 from ..core.split import SplitInfo, find_best_split, leaf_weight
 from ..core.tree import Tree, TreeEnsemble
 from ..data.dataset import BinnedDataset, Dataset, bin_dataset
+from ..cluster.codecs import get_codec_stack
 from ..cluster.network import CommStats, SimulatedNetwork
 
 
@@ -111,8 +112,9 @@ class DistTrainResult:
         return float(np.std([r.total_seconds for r in self.tree_reports]))
 
 
-#: computation phases of one boosting round (Section 3.2.4 vocabulary)
-PHASES = ("gradient", "histogram", "split-find", "node-split")
+#: computation phases of one boosting round (Section 3.2.4 vocabulary,
+#: plus the wire-codec encode/decode kernels of the codec layer)
+PHASES = ("gradient", "histogram", "split-find", "node-split", "codec")
 
 
 class WorkerClock:
@@ -242,6 +244,8 @@ class DistributedGBDT:
         self.config = config
         self.cluster = cluster
         self.net = SimulatedNetwork(cluster.network)
+        #: negotiated wire-format codec stack for inter-worker payloads
+        self.codec = get_codec_stack(config.codec)
         self.loss: Loss = make_loss(config.objective, config.num_classes)
         # workspace-owning kernel engine shared by the simulated workers;
         # its pool recycles per-node histogram buffers across layers/trees

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..cluster.codecs import sparse_entry_bytes
 from ..core.histogram import histogram_size_bytes
 
 
@@ -60,6 +61,85 @@ def vertical_comm_bytes_per_tree(shape: WorkloadShape) -> int:
     ``ceil(N / 8) * W * L`` (Section 3.1.3)."""
     bitmap = (shape.num_instances + 7) // 8
     return bitmap * shape.num_workers * shape.num_layers
+
+
+def expected_hist_density(shape: WorkloadShape,
+                          avg_nnz_per_instance: float,
+                          layer: int = 0) -> float:
+    """Expected occupied-slot fraction of a layer-``layer`` node histogram.
+
+    A node at layer ``l`` holds about ``N / 2^l`` instances contributing
+    ``N d / (D 2^l)`` stored entries per feature, which can occupy at
+    most that many (and at most ``q``) of the feature's ``q`` bins — so
+    the density is at most ``min(1, N d / (D q 2^l))``.  Sparse datasets
+    (RCV1-like: ``d << D``) sit far below 1 even at the root, and the
+    density halves with each layer — the Vasiloudis et al. observation
+    that makes sparse histogram encoding pay.
+    """
+    if avg_nnz_per_instance <= 0:
+        raise ValueError("avg_nnz_per_instance must be > 0")
+    if layer < 0:
+        raise ValueError(f"layer must be >= 0, got {layer}")
+    entries_per_feature = (
+        shape.num_instances * avg_nnz_per_instance
+        / (shape.num_features * 2 ** layer)
+    )
+    return min(1.0, entries_per_feature / shape.num_candidates)
+
+
+def codec_byte_factor(density: float, gradient_dim: int,
+                      codec: str) -> float:
+    """Fraction of dense histogram bytes a codec puts on the wire.
+
+    ``sparse`` ships ``4 + 16 C`` bytes per occupied slot against
+    ``16 C`` dense, capped at 1.0 by the codec's dense fallback;
+    ``f32``/``f16`` quantize every slot to 4/2 bytes; ``none`` and
+    ``delta`` ship histograms dense (``delta`` compresses only integer
+    payloads).
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    if codec in ("none", "delta"):
+        return 1.0
+    if codec == "f32":
+        return 0.5
+    if codec == "f16":
+        return 0.25
+    if codec == "sparse":
+        dense_slot = 2 * 8 * gradient_dim
+        return min(1.0, density * sparse_entry_bytes(gradient_dim)
+                   / dense_slot)
+    raise ValueError(f"unknown codec for byte projection: {codec!r}")
+
+
+def encoded_sizehist_bytes(shape: WorkloadShape, density: float,
+                           codec: str) -> float:
+    """``Sizehist`` after encoding at the given occupied-slot density."""
+    return sizehist_bytes(shape) * codec_byte_factor(
+        density, shape.num_classes, codec)
+
+
+def horizontal_comm_bytes_per_tree_encoded(
+    shape: WorkloadShape,
+    avg_nnz_per_instance: float,
+    codec: str,
+) -> float:
+    """Aggregation traffic of one tree with encoded histogram payloads.
+
+    The dense formula charges ``Sizehist * W`` for each of the
+    ``2^(L-1) - 1`` nodes; here each layer's nodes are scaled by the
+    codec's byte factor at that layer's expected density (density halves
+    per layer, so deep layers compress progressively better).
+    """
+    total = 0.0
+    for layer in range(shape.num_layers - 1):
+        density = expected_hist_density(shape, avg_nnz_per_instance,
+                                        layer)
+        total += (
+            2 ** layer * shape.num_workers
+            * encoded_sizehist_bytes(shape, density, codec)
+        )
+    return total
 
 
 def histogram_construction_cost(shape: WorkloadShape,

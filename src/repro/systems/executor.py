@@ -34,6 +34,7 @@ the final model is bit-identical to the fault-free run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
@@ -260,8 +261,22 @@ class PlanExecutor(DistributedGBDT):
         net = self.net
         net.relabel_since(attempt_mark, RECOVERY_PREFIX)
         policy = self.aggregation.recovery_policy
-        restore_bytes = (checkpoint.model_bytes
-                         + checkpoint.worker_state_bytes(event.worker))
+        state_raw = checkpoint.worker_state_bytes(event.worker)
+        state_wire = state_raw
+        if not self.codec.is_identity:
+            # ship the placement state through the index codec; the
+            # decode is exercised for real (lossless, so restoring from
+            # the local snapshot equals restoring the decoded payload)
+            if len(checkpoint.index_state) == 1:
+                state_arr = checkpoint.index_state[0]
+            else:
+                state_arr = checkpoint.index_state[event.worker]
+            start = time.perf_counter()
+            enc = self.codec.index.encode(state_arr)
+            self.codec.index.decode(enc)
+            clock.charge_all(time.perf_counter() - start, phase="codec")
+            state_wire = enc.nbytes
+        restore_bytes = checkpoint.model_bytes + state_wire
         if policy == "reshard":
             data_bytes = (
                 self.storage.shard_bytes(self, event.worker)
@@ -276,8 +291,8 @@ class PlanExecutor(DistributedGBDT):
             restore_bytes += data_bytes
         net.transfer(
             "recovery:checkpoint",
-            checkpoint.model_bytes
-            + checkpoint.worker_state_bytes(event.worker),
+            checkpoint.model_bytes + state_wire,
+            raw_nbytes=checkpoint.model_bytes + state_raw,
         )
         self.recovery_log.append(RecoveryRecord(
             tree=event.tree, layer=event.layer, worker=event.worker,

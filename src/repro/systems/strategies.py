@@ -39,8 +39,6 @@ from typing import Dict, List, Optional, Sequence, Set, TYPE_CHECKING, Tuple
 
 import numpy as np
 
-from ..cluster.bitmap import (bitmap_nbytes, decode_placement,
-                              encode_placement)
 from ..cluster.blocks import BlockedColumnGroup, blockify_shard
 from ..cluster.comm import (SPLIT_INFO_BYTES, allreduce_histograms,
                             broadcast_bytes, exchange_split_infos,
@@ -62,6 +60,33 @@ if TYPE_CHECKING:
 
 #: leader worker that owns aggregated histograms under all-reduce (QD1)
 LEADER = 0
+
+
+def _encode_worker_hists(ex, node: int, clock: WorkerClock,
+                         enc_bytes: List[int],
+                         enc_seconds: List[float]) -> Tuple[List, float]:
+    """Encode every worker's histogram of ``node`` with the executor's
+    codec and decode at the receiving end.
+
+    The encode kernel is charged to the owning worker, the decode time
+    is returned for the caller to charge where the aggregated result
+    materializes.  Returns the decoded per-worker histograms (for a
+    lossless codec these are bit-identical to the originals, so the
+    downstream sum — in unchanged order — reproduces the dense model
+    exactly) and the accumulated decode seconds.
+    """
+    codec = ex.codec.histogram
+    decoded = []
+    dec_seconds = 0.0
+    for worker, store in enumerate(ex.stores):
+        start = time.perf_counter()
+        enc = codec.encode(store.get(node))
+        enc_seconds[worker] += time.perf_counter() - start
+        enc_bytes[worker] += enc.nbytes
+        start = time.perf_counter()
+        decoded.append(codec.decode(enc))
+        dec_seconds += time.perf_counter() - start
+    return decoded, dec_seconds
 
 
 # ---------------------------------------------------------------------------
@@ -659,13 +684,35 @@ class AllReduceAggregation(_LocalPlacementMixin, AggregationStrategy):
     def find_splits(self, ex, nodes, clock) -> Dict[int, SplitInfo]:
         aggregated: Dict[int, Histogram] = {}
         payload = 0
-        for node in nodes:
-            aggregated[node] = allreduce_histograms(
-                [store.get(node) for store in ex.stores], net=None,
-            )
-            payload += aggregated[node].nbytes
-        record_collective(ex.net, "hist-aggregation", payload,
-                          ex.cluster.num_workers, "allreduce")
+        num_workers = ex.cluster.num_workers
+        if ex.codec.is_identity:
+            for node in nodes:
+                aggregated[node] = allreduce_histograms(
+                    [store.get(node) for store in ex.stores], net=None,
+                )
+                payload += aggregated[node].nbytes
+            record_collective(ex.net, "hist-aggregation", payload,
+                              num_workers, "allreduce")
+        else:
+            # each worker encodes its local histograms; the reduction
+            # runs over the decoded payloads in the same worker order,
+            # so a lossless codec reproduces the dense model exactly
+            enc_bytes = [0] * num_workers
+            enc_seconds = [0.0] * num_workers
+            dec_seconds = 0.0
+            for node in nodes:
+                decoded, node_dec = _encode_worker_hists(
+                    ex, node, clock, enc_bytes, enc_seconds)
+                dec_seconds += node_dec
+                aggregated[node] = allreduce_histograms(decoded, net=None)
+                payload += aggregated[node].nbytes
+            for worker, seconds in enumerate(enc_seconds):
+                clock.charge(worker, seconds, phase="codec")
+            # all-reduce materializes the result on every worker
+            clock.charge_all(dec_seconds, phase="codec")
+            record_collective(ex.net, "hist-aggregation", payload,
+                              num_workers, "allreduce",
+                              encoded_worker_bytes=enc_bytes)
         splits: Dict[int, SplitInfo] = {}
         bins = ex._binned.bins_per_feature
         start = time.perf_counter()
@@ -699,23 +746,39 @@ class ReduceScatterAggregation(_LocalPlacementMixin, AggregationStrategy):
     #: collective pattern used to aggregate one layer's histograms
     pattern = "reducescatter"
 
-    def aggregate_node(self, ex, node: int) -> List[Histogram]:
+    def aggregate_node(self, ex, node: int,
+                       hists: Optional[List[Histogram]] = None,
+                       ) -> List[Histogram]:
         """Aggregated feature-slice histograms, one per worker.
 
-        The traffic is charged per layer in :meth:`find_splits` (real
-        systems batch a layer's histograms into one collective)."""
+        ``hists`` overrides the per-worker inputs (the codec path passes
+        decoded payloads).  The traffic is charged per layer in
+        :meth:`find_splits` (real systems batch a layer's histograms
+        into one collective)."""
+        if hists is None:
+            hists = [store.get(node) for store in ex.stores]
         return reduce_scatter_histograms(
-            [store.get(node) for store in ex.stores],
-            ex.feature_ranges, net=None,
+            hists, ex.feature_ranges, net=None,
         )
 
     def find_splits(self, ex, nodes, clock) -> Dict[int, SplitInfo]:
         splits: Dict[int, SplitInfo] = {}
         bins = ex._binned.bins_per_feature
         payload = 0
+        num_workers = ex.cluster.num_workers
+        encode = not ex.codec.is_identity
+        enc_bytes = [0] * num_workers
+        enc_seconds = [0.0] * num_workers
+        dec_seconds = 0.0
         for node in nodes:
             payload += ex.stores[0].get(node).nbytes
-            slices = self.aggregate_node(ex, node)
+            if encode:
+                decoded, node_dec = _encode_worker_hists(
+                    ex, node, clock, enc_bytes, enc_seconds)
+                dec_seconds += node_dec
+                slices = self.aggregate_node(ex, node, decoded)
+            else:
+                slices = self.aggregate_node(ex, node)
             best: Optional[SplitInfo] = None
             for worker, piece in enumerate(slices):
                 features = ex.feature_ranges[worker]
@@ -739,8 +802,18 @@ class ReduceScatterAggregation(_LocalPlacementMixin, AggregationStrategy):
                         best = candidate
             if best is not None:
                 splits[node] = best
-        record_collective(ex.net, "hist-aggregation", payload,
-                          ex.cluster.num_workers, self.pattern)
+        if encode:
+            for worker, seconds in enumerate(enc_seconds):
+                clock.charge(worker, seconds, phase="codec")
+            # decoded slices materialize on the scatter owners; the
+            # parallel decode is bounded by the full decode work
+            clock.charge_all(dec_seconds, phase="codec")
+            record_collective(ex.net, "hist-aggregation", payload,
+                              num_workers, self.pattern,
+                              encoded_worker_bytes=enc_bytes)
+        else:
+            record_collective(ex.net, "hist-aggregation", payload,
+                              num_workers, self.pattern)
         exchange_split_infos(len(nodes), ex.cluster.num_workers, ex.net)
         return splits
 
@@ -764,10 +837,12 @@ class ParameterServerAggregation(ReduceScatterAggregation):
                 "support multi-classification (Section 5.3 of the paper)"
             )
 
-    def aggregate_node(self, ex, node: int) -> List[Histogram]:
-        total = ps_push_histograms(
-            [store.get(node) for store in ex.stores], net=None,
-        )
+    def aggregate_node(self, ex, node: int,
+                       hists: Optional[List[Histogram]] = None,
+                       ) -> List[Histogram]:
+        if hists is None:
+            hists = [store.get(node) for store in ex.stores]
+        total = ps_push_histograms(hists, net=None)
         grad_view = total.grad_view()
         hess_view = total.hess_view()
         slices: List[Histogram] = []
@@ -856,26 +931,32 @@ class BitmapBroadcastAggregation(_LocalElectionMixin,
     def apply_splits(self, ex, tree, splits, grad, hess, active,
                      clock) -> None:
         by_owner = self._owner_splits(ex, tree, splits)
+        codec = ex.codec.placement
         placements: Dict[int, np.ndarray] = {}
-        payloads: Dict[int, bytes] = {}
-        bitmap_bytes = 0
+        payloads: Dict[int, object] = {}
+        wire_bytes = 0
+        raw_bytes = 0
         for owner, local_splits in by_owner.items():
             start = time.perf_counter()
             owner_placements = ex.storage.placements(
                 ex, owner, ex.index, local_splits)
             for node, go_left in owner_placements.items():
-                payloads[node] = encode_placement(go_left)
-                bitmap_bytes += bitmap_nbytes(go_left.size)
+                enc = codec.encode(go_left)
+                payloads[node] = enc
+                wire_bytes += enc.nbytes
+                raw_bytes += enc.raw_nbytes
             clock.charge(owner, time.perf_counter() - start,
                          phase="node-split")
             placements.update(owner_placements)
-        # one placement broadcast per layer (Section 3.1.3)
-        broadcast_bytes(bitmap_bytes, ex.cluster.num_workers, ex.net,
-                        kind="placement-bitmap")
+        # one placement broadcast per layer (Section 3.1.3); the default
+        # bitmap codec charges exactly ceil(N/8) per node, an adaptive
+        # codec may beat it and accounts the saving as codec:<kind>
+        broadcast_bytes(wire_bytes, ex.cluster.num_workers, ex.net,
+                        kind="placement-bitmap", raw_nbytes=raw_bytes)
         start = time.perf_counter()
         for node in sorted(splits):
-            decoded = decode_placement(payloads[node],
-                                       placements[node].size)
+            decoded = codec.decode(payloads[node],
+                                   placements[node].size)
             left, right = 2 * node + 1, 2 * node + 2
             ex.index.split_node(node, decoded, left, right)
         clock.charge_all(time.perf_counter() - start, phase="node-split")

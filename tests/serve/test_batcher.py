@@ -214,6 +214,93 @@ class TestHotSwap:
         assert fired == [99.0]
 
 
+class TestBoundedQueue:
+    """Admission control: a bounded backlog with reject/shed policies."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_queue"):
+            BatchPolicy(8, 0.001, max_queue=-1)
+        with pytest.raises(ValueError, match="at least one full batch"):
+            BatchPolicy(8, 0.001, max_queue=4)
+        with pytest.raises(ValueError, match="overload"):
+            BatchPolicy(8, 0.001, max_queue=8, overload="panic")
+        assert not BatchPolicy(8, 0.001).bounded
+        assert BatchPolicy(8, 0.001, max_queue=8).bounded
+
+    def test_reject_drops_newcomers(self, compiled):
+        # batch [0] dispatches at 0.5ms and serves for 10ms; 1 and 2
+        # fill the 2-slot queue; 3 and 4 arrive against a full queue
+        trace = trace_at([0.0, 0.001, 0.002, 0.003, 0.004])
+        report = MicroBatcher(
+            server(compiled, per_batch=0.010),
+            BatchPolicy(2, max_delay_s=0.0005, max_queue=2,
+                        overload="reject"),
+        ).run(trace)
+        assert sorted(r.request_id for r in report.records) == [0, 1, 2]
+        assert [(d.request_id, d.reason) for d in report.dropped] == \
+            [(3, "reject"), (4, "reject")]
+        # a rejected request never waits: dropped on arrival
+        assert all(d.queued_s == 0.0 for d in report.dropped)
+
+    def test_shed_oldest_keeps_freshest(self, compiled):
+        trace = trace_at([0.0, 0.001, 0.002, 0.003, 0.004])
+        report = MicroBatcher(
+            server(compiled, per_batch=0.010),
+            BatchPolicy(2, max_delay_s=0.0005, max_queue=2,
+                        overload="shed-oldest"),
+        ).run(trace)
+        # 3 evicts 1, 4 evicts 2: the freshest requests get served
+        assert sorted(r.request_id for r in report.records) == [0, 3, 4]
+        assert [(d.request_id, d.reason) for d in report.dropped] == \
+            [(1, "shed-oldest"), (2, "shed-oldest")]
+        # request 1 queued from 1ms until evicted at 3ms
+        assert report.dropped[0].queued_s == pytest.approx(0.002)
+
+    def test_drop_rate_in_ledger(self, compiled):
+        trace = synthetic_trace(300, compiled.num_features,
+                                rate_rps=50_000.0, seed=3)
+        report = MicroBatcher(
+            server(compiled, per_batch=0.005),
+            BatchPolicy(16, 0.001, max_queue=32, overload="reject"),
+        ).run(trace, collect_scores=True)
+        stats = report.latency_stats()
+        assert stats.dropped == len(report.dropped) > 0
+        assert stats.count + stats.dropped == 300
+        assert stats.drop_rate == pytest.approx(stats.dropped / 300)
+        assert stats.to_dict()["drop_rate"] == stats.drop_rate
+        # scores align with what was actually served
+        assert report.scores.shape[0] == stats.count
+        served = sorted(r.request_id for r in report.records)
+        dropped = sorted(d.request_id for d in report.dropped)
+        assert sorted(served + dropped) == list(range(300))
+
+    def test_roomy_queue_matches_unbounded_schedule(self, compiled):
+        trace = synthetic_trace(200, compiled.num_features,
+                                rate_rps=2000.0, seed=5)
+        policy = BatchPolicy(16, 0.002)
+        bounded = BatchPolicy(16, 0.002, max_queue=10_000)
+        a = MicroBatcher(server(compiled, per_batch=0.001),
+                         policy).run(trace)
+        b = MicroBatcher(server(compiled, per_batch=0.001),
+                         bounded).run(trace)
+        assert b.dropped == []
+        assert [x.size for x in a.batches] == [x.size for x in b.batches]
+        assert [x.close_s for x in a.batches] == \
+            [x.close_s for x in b.batches]
+        assert [r.request_id for r in a.records] == \
+            [r.request_id for r in b.records]
+
+    def test_light_load_never_drops(self, compiled):
+        trace = synthetic_trace(60, compiled.num_features,
+                                rate_rps=100.0, seed=1)
+        report = MicroBatcher(
+            server(compiled), BatchPolicy(8, 0.001, max_queue=8,
+                                          overload="shed-oldest"),
+        ).run(trace)
+        assert report.dropped == []
+        assert report.latency_stats().drop_rate == 0.0
+
+
 class TestModelServer:
     def test_rejects_unknown_model_type(self):
         with pytest.raises(TypeError, match="CompiledEnsemble"):

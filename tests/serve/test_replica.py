@@ -60,6 +60,74 @@ class TestDeploy:
             ReplicaSet(registry, balancer="random")
 
 
+@pytest.fixture(scope="module")
+def append_registry(small_binary):
+    """Two versions where v2 extends v1 by two trees — boosting is
+    deterministic, so the longer run's tree prefix equals the short
+    run's trees exactly (the append-mostly rollout shape)."""
+    registry = ModelRegistry()
+    cfg = dict(num_layers=4, num_candidates=8)
+    registry.publish(GBDT(TrainConfig(num_trees=2, **cfg))
+                     .fit(small_binary).ensemble)
+    registry.publish(GBDT(TrainConfig(num_trees=4, **cfg))
+                     .fit(small_binary).ensemble)
+    return registry
+
+
+class TestDeltaDeploys:
+    def test_off_by_default(self, append_registry):
+        replicas = ReplicaSet(append_registry,
+                              ClusterConfig(num_workers=2))
+        replicas.deploy(1)
+        replicas.deploy(2)
+        assert replicas.deploy_bytes == replicas.deploy_raw_bytes
+        assert replicas.network.snapshot().codec_savings_by_kind() == {}
+
+    def test_second_rollout_ships_tree_suffix(self, append_registry):
+        v1 = append_registry.get(1)
+        v2 = append_registry.get(2)
+        replicas = ReplicaSet(append_registry,
+                              ClusterConfig(num_workers=3),
+                              delta_deploys=True)
+        replicas.deploy(1)
+        assert replicas.deploy_bytes == 3 * v1.nbytes  # no predecessor
+        replicas.deploy(2)
+        full = 3 * (v1.nbytes + v2.nbytes)
+        assert replicas.deploy_raw_bytes == full
+        assert replicas.deploy_bytes < full
+        assert replicas.deployed_versions() == [2, 2, 2]
+        savings = replicas.network.snapshot().codec_savings_by_kind()
+        assert savings["codec:" + DEPLOY_KIND] == \
+            full - replicas.deploy_bytes
+        # the wire still carries only the deploy kind
+        assert set(replicas.network.snapshot().bytes_by_kind) == \
+            {DEPLOY_KIND}
+
+    def test_delta_deployed_model_serves_identically(
+            self, append_registry):
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal(
+            (32, append_registry.get(2).compiled.num_features))
+        full = ReplicaSet(append_registry, ClusterConfig(num_workers=1))
+        delta = ReplicaSet(append_registry, ClusterConfig(num_workers=1),
+                           delta_deploys=True)
+        for replicas in (full, delta):
+            replicas.deploy(1)
+            replicas.deploy(2)
+        np.testing.assert_array_equal(
+            full.dispatch(features, 0.0).scores,
+            delta.dispatch(features, 0.0).scores)
+
+    def test_unrelated_versions_fall_back_to_full(self, registry):
+        # the shared `registry` fixture's versions share no tree prefix
+        replicas = ReplicaSet(registry, ClusterConfig(num_workers=2),
+                              delta_deploys=True)
+        replicas.deploy(1)
+        replicas.deploy(2)
+        assert replicas.deploy_bytes == replicas.deploy_raw_bytes == \
+            2 * (registry.get(1).nbytes + registry.get(2).nbytes)
+
+
 class TestBalancing:
     def test_round_robin_cycles_workers(self, registry):
         replicas = ReplicaSet(

@@ -65,12 +65,12 @@ def binned():
 
 
 def run_pair(plan_key, binned, faults, num_workers=4, num_trees=3,
-             num_layers=4):
+             num_layers=4, codec=""):
     """(fault-free result, faulty result, faulty system)."""
     base_cfg = TrainConfig(num_trees=num_trees, num_layers=num_layers,
-                           num_candidates=8)
+                           num_candidates=8, codec=codec)
     fault_cfg = TrainConfig(num_trees=num_trees, num_layers=num_layers,
-                            num_candidates=8, faults=faults)
+                            num_candidates=8, faults=faults, codec=codec)
     cluster = ClusterConfig(num_workers=num_workers)
     clean = make_system(plan_key, base_cfg, cluster).fit(binned)
     system = make_system(plan_key, fault_cfg, cluster)
@@ -133,6 +133,76 @@ class TestChaosConformance:
         assert first.comm.total_seconds == second.comm.total_seconds
         for t1, t2 in zip(first.ensemble.trees, second.ensemble.trees):
             assert tree_signature(t1) == tree_signature(t2)
+
+
+class TestChaosWithCodec:
+    """Faults compose with the sparse wire codec (DESIGN.md §11): the
+    model stays bit-identical to the *dense fault-free* baseline, the
+    fault accounting contract holds on the (smaller) encoded ledger, and
+    the ``codec:`` savings dimension is exactly raw minus wire."""
+
+    @pytest.mark.parametrize("plan_key", plan_keys())
+    def test_sparse_codec_under_faults_all_plans(self, binned, plan_key):
+        faults = f"{PINNED_SEEDS[0]}:crash=1,drop=0.08"
+        cluster = ClusterConfig(num_workers=4)
+        kwargs = dict(num_trees=3, num_layers=4, num_candidates=8)
+        dense = make_system(plan_key, TrainConfig(**kwargs),
+                            cluster).fit(binned)
+        clean, faulty, system = run_pair(plan_key, binned, faults,
+                                         codec="sparse")
+
+        # 1. lossless codec + faults still bit-identical to the dense
+        #    fault-free baseline
+        assert len(dense.ensemble.trees) == len(faulty.ensemble.trees)
+        for t_dense, t_faulty in zip(dense.ensemble.trees,
+                                     faulty.ensemble.trees):
+            assert tree_signature(t_dense) == tree_signature(t_faulty)
+
+        # 2. the §9 contract holds on the encoded ledger: base wire
+        #    kinds equal the codec fault-free run, delta is exactly the
+        #    retry:/recovery: kinds
+        base_kinds, fault_kinds = split_kinds(faulty.comm)
+        assert base_kinds == clean.comm.bytes_by_kind
+        assert faulty.comm.total_bytes - clean.comm.total_bytes == \
+            sum(fault_kinds.values())
+        assert faulty.comm.total_seconds >= clean.comm.total_seconds
+
+        # 3. raw accounting: what the codec run *would have* shipped
+        #    dense equals what the dense run actually shipped, kind by
+        #    kind (fault kinds excluded — their schedules differ only in
+        #    how many bytes each retransmit carries)
+        raw_base = {k: v for k, v in clean.comm.raw_bytes_by_kind.items()
+                    if not k.startswith(FAULT_PREFIXES)}
+        assert raw_base == dense.comm.bytes_by_kind
+
+        # 4. the codec: savings dimension is exactly raw minus wire
+        savings = faulty.comm.codec_savings_by_kind()
+        assert savings, "sparse codec saved nothing on this plan"
+        for kind, saved in savings.items():
+            base_kind = kind[len("codec:"):]
+            assert saved == (faulty.comm.raw_bytes_by_kind[base_kind]
+                             - faulty.comm.bytes_by_kind[base_kind])
+            assert saved > 0
+
+    @pytest.mark.parametrize("fault_seed", PINNED_SEEDS)
+    @pytest.mark.parametrize("plan_key", ["qd2", "vero"])
+    def test_pinned_seeds_sparse_codec_replay(self, binned, plan_key,
+                                              fault_seed):
+        faults = f"{fault_seed}:crash=2,drop=0.08,timeout=0.03"
+        clean, faulty, _ = run_pair(plan_key, binned, faults,
+                                    codec="sparse")
+        for t_clean, t_faulty in zip(clean.ensemble.trees,
+                                     faulty.ensemble.trees):
+            assert tree_signature(t_clean) == tree_signature(t_faulty)
+        base_kinds, fault_kinds = split_kinds(faulty.comm)
+        assert base_kinds == clean.comm.bytes_by_kind
+        assert faulty.comm.total_bytes - clean.comm.total_bytes == \
+            sum(fault_kinds.values())
+        _, second, _ = run_pair(plan_key, binned, faults, codec="sparse")
+        assert second.comm.bytes_by_kind == faulty.comm.bytes_by_kind
+        assert second.comm.raw_bytes_by_kind == \
+            faulty.comm.raw_bytes_by_kind
+        assert second.comm.total_seconds == faulty.comm.total_seconds
 
 
 @settings(max_examples=12, deadline=None)

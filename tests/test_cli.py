@@ -152,6 +152,36 @@ class TestFaultyTrain:
             ])
 
 
+class TestTrainCodec:
+    # delta compresses integer payloads only, so it rides a vertical
+    # plan whose wire is placement bitmaps; the histogram codecs ride a
+    # horizontal plan whose wire is histogram aggregation
+    @pytest.mark.parametrize("codec,system", [
+        ("none", "qd2"), ("sparse", "qd2"), ("delta", "vero"),
+        ("f16", "qd2"),
+    ])
+    def test_train_with_codec(self, capsys, codec, system):
+        assert main([
+            "train", "--catalog", "rcv1", "--scale", "0.05",
+            "--system", system, "--trees", "2", "--layers", "4",
+            "--workers", "3", "--codec", codec,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "auc=" in out
+        if codec == "none":
+            assert "saved" not in out
+        else:
+            # every non-identity stack compresses something on this
+            # sparse workload, and the savings line names the codec
+            assert f"codec={codec}: saved" in out
+            assert "x total reduction" in out
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--catalog", "rcv1", "--trees", "1",
+                  "--codec", "zstd"])
+
+
 class TestAdvise:
     def test_high_dim_recommends_vero(self, capsys):
         assert main([
@@ -178,6 +208,28 @@ class TestAdvise:
         ]) == 0
         out = capsys.readouterr().out
         assert "recovery" in out
+
+    def test_codec_projections_printed(self, capsys):
+        # KDD-cup-like shape: high-dimensional and very sparse, so the
+        # per-node histograms sit far below the sparse codec's cutoff
+        assert main([
+            "advise", "--instances", "150000", "--features", "2000000",
+            "--nnz-per-instance", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "byte reduction by codec" in out
+        assert "sparse:" in out and "lossless" in out
+        assert "f16:" in out and "lossy, opt-in" in out
+        # the codec-aware reason points at --codec
+        assert "train --codec sparse" in out
+
+    def test_codec_aware_pricing(self, capsys):
+        assert main([
+            "advise", "--instances", "150000", "--features", "2000000",
+            "--nnz-per-instance", "30", "--codec", "sparse",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "priced with the 'sparse' codec" in out
 
 
 class TestParser:
