@@ -12,7 +12,10 @@ Five subcommands cover the everyday workflows:
   serving stack: compiled-vs-naive speedup, micro-batching latency
   percentiles, and a mid-traffic hot-swap with deploy accounting;
 * ``repro advise``  — run the data-management advisor on a workload
-  description (Section 6's open problem).
+  description (Section 6's open problem);
+* ``repro doctor``  — report detected kernel backends (numba/LLVM
+  versions) and run a per-backend bit-identity self-check; exits
+  nonzero on a backend that imports but miscompares.
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
 """
@@ -86,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wire-format codec for inter-worker payloads "
                             "(sparse/delta are lossless; f32/f16 "
                             "quantize histograms)")
+    train.add_argument("--backend", default="",
+                       help="kernel backend for the histogram hot loops "
+                            "(numpy/numba/pyloop/auto; default numpy — "
+                            "all backends train bit-identical models)")
 
     predict = sub.add_parser("predict",
                              help="score a libsvm file with a model")
@@ -116,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--smoke", action="store_true",
                        help="tiny run for CI (seconds, not minutes)")
+    serve.add_argument("--backend", default="",
+                       help="kernel backend for the compiled predictor "
+                            "(numpy/numba/pyloop/auto; default numpy)")
+    serve.add_argument("--quantized", action="store_true",
+                       help="also benchmark the uint8 bin-quantized "
+                            "predictor (in-process models only)")
 
     advise = sub.add_parser(
         "advise", help="recommend a data-management quadrant"
@@ -136,6 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("none", "sparse", "f32", "f16"),
                         help="price horizontal aggregation with this "
                              "codec's encoded bytes")
+    advise.add_argument("--backend", default="",
+                        help="price compute for this kernel backend "
+                             "(numpy/numba/pyloop; default numpy)")
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="report kernel backends and self-check bit-identity",
+    )
+    doctor.add_argument("--skip-selfcheck", action="store_true",
+                        help="only report detection, skip the "
+                             "bit-identity battery")
 
     return parser
 
@@ -177,6 +201,7 @@ def cmd_train(args) -> int:
         plan=args.plan or "",
         faults=args.faults,
         codec=args.codec,
+        backend=args.backend,
     )
     cluster = ClusterConfig(
         num_workers=args.workers,
@@ -184,11 +209,14 @@ def cmd_train(args) -> int:
     )
     train, valid = dataset.split(1.0 - args.valid_fraction,
                                  seed=args.seed)
+    from .core.kernels import resolve_backend_name
+
     system = make_system(config.plan or args.system, config, cluster)
     result = system.fit(train, valid=valid)
     last = result.evals[-1]
     print(f"system={system.name} quadrant={system.quadrant} "
-          f"plan={system.plan.key} workers={args.workers}")
+          f"plan={system.plan.key} workers={args.workers} "
+          f"backend={resolve_backend_name(config.backend)}")
     print(f"final {last.metric_name}={last.metric_value:.4f} after "
           f"{len(result.ensemble)} trees "
           f"({last.elapsed_seconds:.2f}s simulated)")
@@ -303,8 +331,14 @@ def cmd_serve_bench(args) -> int:
         registry.publish(second, source="in-process v2")
         ensembles = {1: first, 2: second}
     compiled = entry.compiled
+    if args.backend:
+        from .serve import compile_ensemble as _compile
+
+        source = ensembles.get(entry.version)
+        if source is not None:
+            compiled = _compile(source, backend=args.backend)
     print(f"serving {entry} from {args.serve_workers} workers "
-          f"({args.balancer})")
+          f"({args.balancer}, backend={compiled.backend.name})")
 
     trace = synthetic_trace(
         args.requests, max(compiled.num_features, 1), args.rate,
@@ -325,6 +359,22 @@ def cmd_serve_bench(args) -> int:
         print(f"batch of {trace.num_requests}: naive={naive_s * 1e3:.1f}ms "
               f"compiled={fast_s * 1e3:.1f}ms "
               f"({naive_s / max(fast_s, 1e-12):.2f}x), exact={exact}")
+        if args.quantized and not args.model:
+            from .data.dataset import bin_dataset
+            from .serve import quantize_ensemble
+
+            # the same binning fit() used, so every split threshold
+            # sits exactly on the quantizer's bin grid
+            train_binned = bin_dataset(dataset, config.num_candidates)
+            quant = quantize_ensemble(compiled, train_binned.cuts)
+            binned_batch = quant.bin_batch(trace.features)
+            began = _time.perf_counter()
+            qscores = quant.raw_scores_binned(binned_batch)
+            quant_s = _time.perf_counter() - began
+            qexact = bool((naive == qscores).all())
+            print(f"quantized (uint8 bins): {quant_s * 1e3:.1f}ms "
+                  f"({fast_s / max(quant_s, 1e-12):.2f}x vs compiled), "
+                  f"exact={qexact}")
 
     replicas = ReplicaSet(
         registry, ClusterConfig(num_workers=args.serve_workers),
@@ -376,6 +426,7 @@ def cmd_advise(args) -> int:
         memory_budget_bytes=budget,
         crash_rate=args.crash_rate,
         codec=args.codec,
+        backend=args.backend,
     )
     print(f"recommendation: {rec.best.quadrant} "
           f"({rec.best.description})")
@@ -396,6 +447,43 @@ def cmd_advise(args) -> int:
     return 0
 
 
+def cmd_doctor(args) -> int:
+    """Backend detection report plus the bit-identity battery.
+
+    Exit status: 0 when every available backend is bit-identical to the
+    numpy baseline, 1 when a backend imports but miscompares (or its
+    battery crashes) — the failure mode worse than a missing install.
+    """
+    from .core.kernels import DISABLE_ENV, detect_backends
+    from .selfcheck import check_backend
+
+    print("kernel backends:")
+    infos = detect_backends()
+    for info in infos:
+        print(f"  {info.describe()}")
+    disabled = [i.name for i in infos
+                if not i.available and DISABLE_ENV in i.version]
+    if disabled:
+        print(f"  ({DISABLE_ENV} is masking: {', '.join(disabled)})")
+    if args.skip_selfcheck:
+        return 0
+    print("bit-identity self-check (vs numpy baseline):")
+    failed = False
+    for info in infos:
+        if not info.available:
+            print(f"  {info.name}: skipped (not available)")
+            continue
+        result = check_backend(info.name)
+        print(f"  {result.describe()}")
+        failed = failed or not result.passed
+    if failed:
+        print("FAIL: a backend imports but does not reproduce the "
+              "numpy baseline bit-for-bit — do not train with it")
+        return 1
+    print("all available backends are bit-identical")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -404,6 +492,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "predict": cmd_predict,
         "serve-bench": cmd_serve_bench,
         "advise": cmd_advise,
+        "doctor": cmd_doctor,
     }
     return handlers[args.command](args)
 

@@ -84,6 +84,13 @@ class TrainConfig:
         :func:`repro.cluster.codecs.get_codec_stack` at build time, not
         here — like ``plan``, the config layer stays free of cluster
         imports.
+    backend:
+        Kernel backend for the histogram/predict hot loops (``"numpy"``,
+        ``"numba"``, ``"pyloop"`` or ``"auto"``); the empty string means
+        the portable numpy default.  All backends are bit-identical on
+        the lossless path, so this is purely a speed knob.  Resolved by
+        :func:`repro.core.kernels.make_backend` at build time, not here
+        — like ``plan``, the config layer stays free of kernel imports.
     """
 
     num_trees: int = 100
@@ -105,6 +112,7 @@ class TrainConfig:
     plan: str = ""
     faults: str = ""
     codec: str = ""
+    backend: str = ""
 
     def __post_init__(self) -> None:
         if self.num_trees < 1:

@@ -32,9 +32,13 @@ kernels run on a reusable-workspace engine:
 * :class:`HistogramBuilder` owns a pool plus grow-only scratch arrays and
   implements all four kernels allocation-free on the hot path, with a
   dedicated **root fast path** (a node holding every shard row keys
-  directly off the shard's cached entry keys) and a **fused scatter** that
-  collapses the 2·C per-class ``bincount`` calls into C single passes over
-  stacked gradient/hessian weights.
+  directly off the shard's cached entry keys);
+* the innermost scatter-add dispatches to a pluggable
+  :class:`~repro.core.kernels.KernelBackend` — the numpy default's
+  **fused scatter** collapses the 2·C per-class ``bincount`` calls into C
+  single passes over stacked gradient/hessian weights, while the
+  optional numba backend compiles unrolled per-entry loops with a
+  no-hessian fast path for constant-hessian objectives.
 
 The module-level kernel functions are thin wrappers over a shared default
 builder, so existing callers keep working unchanged.  All kernels remain
@@ -65,13 +69,18 @@ class Histogram:
 
     ``grad`` and ``hess`` are ``(num_features * num_bins, gradient_dim)``
     arrays stored flat so construction kernels can scatter with a single
-    ``bincount`` per gradient dimension.
+    ``bincount`` per gradient dimension.  The accumulator ``dtype``
+    defaults to float64 (the lossless path every bit-identity contract
+    is stated against); backends may request float32 accumulators for
+    ablations, and the pool keys buffers by dtype so the two can never
+    alias.
     """
 
-    __slots__ = ("grad", "hess", "num_features", "num_bins", "gradient_dim")
+    __slots__ = ("grad", "hess", "num_features", "num_bins",
+                 "gradient_dim", "dtype")
 
     def __init__(self, num_features: int, num_bins: int,
-                 gradient_dim: int) -> None:
+                 gradient_dim: int, dtype=np.float64) -> None:
         if num_features < 1 or num_bins < 1 or gradient_dim < 1:
             raise ValueError(
                 "num_features, num_bins and gradient_dim must be >= 1"
@@ -79,9 +88,10 @@ class Histogram:
         self.num_features = num_features
         self.num_bins = num_bins
         self.gradient_dim = gradient_dim
+        self.dtype = np.dtype(dtype)
         shape = (num_features * num_bins, gradient_dim)
-        self.grad = np.zeros(shape, dtype=np.float64)
-        self.hess = np.zeros(shape, dtype=np.float64)
+        self.grad = np.zeros(shape, dtype=self.dtype)
+        self.hess = np.zeros(shape, dtype=self.dtype)
 
     # -- views ---------------------------------------------------------------
 
@@ -124,22 +134,22 @@ class Histogram:
         """
         self._check_compatible(other)
         result = Histogram(self.num_features, self.num_bins,
-                           self.gradient_dim)
+                           self.gradient_dim, dtype=self.dtype)
         np.subtract(self.grad, other.grad, out=result.grad)
         np.subtract(self.hess, other.hess, out=result.hess)
         return result
 
     def copy(self) -> "Histogram":
         result = Histogram(self.num_features, self.num_bins,
-                           self.gradient_dim)
+                           self.gradient_dim, dtype=self.dtype)
         result.grad[:] = self.grad
         result.hess[:] = self.hess
         return result
 
     def _check_compatible(self, other: "Histogram") -> None:
-        if (self.num_features, self.num_bins, self.gradient_dim) != (
-            other.num_features, other.num_bins, other.gradient_dim
-        ):
+        if (self.num_features, self.num_bins, self.gradient_dim,
+                self.dtype) != (other.num_features, other.num_bins,
+                                other.gradient_dim, other.dtype):
             raise ValueError("histogram shapes do not match")
 
     def allclose(self, other: "Histogram", rtol: float = 1e-9,
@@ -171,8 +181,12 @@ class HistogramPool:
 
     Trainers allocate one histogram per tree node per layer; without reuse
     that is thousands of short-lived ``2·D·q·C`` buffers per tree.  The pool
-    keeps released buffers keyed by shape and hands them back zeroed, so the
-    steady-state hot path performs no histogram allocation at all.
+    keeps released buffers keyed by shape **and accumulator dtype** and
+    hands them back zeroed, so the steady-state hot path performs no
+    histogram allocation at all.  The dtype key matters once backends can
+    request float32 accumulators: without it, a float32 acquire could be
+    handed a float64 buffer released by another node's build (same shape,
+    wrong precision) and silently accumulate at the wrong width.
 
     Contract: a caller must not ``release`` a histogram it (or anything
     else) still references — the buffer will be recycled and overwritten.
@@ -183,7 +197,8 @@ class HistogramPool:
         if max_retained < 0:
             raise ValueError("max_retained must be >= 0")
         self.max_retained = max_retained
-        self._free: Dict[Tuple[int, int, int], List[Histogram]] = {}
+        self._free: Dict[Tuple[int, int, int, np.dtype],
+                         List[Histogram]] = {}
         self._free_ids: set = set()
         self.hits = 0
         self.misses = 0
@@ -194,13 +209,13 @@ class HistogramPool:
         return len(self._free_ids)
 
     def acquire(self, num_features: int, num_bins: int, gradient_dim: int,
-                zero: bool = True) -> Histogram:
-        """A histogram of the given shape, recycled when possible.
+                zero: bool = True, dtype=np.float64) -> Histogram:
+        """A histogram of the given shape and dtype, recycled when possible.
 
         ``zero=False`` skips the zero-fill for callers that overwrite every
         bin (the kernels' full-scatter paths).
         """
-        key = (num_features, num_bins, gradient_dim)
+        key = (num_features, num_bins, gradient_dim, np.dtype(dtype))
         free = self._free.get(key)
         if free:
             hist = free.pop()
@@ -210,7 +225,7 @@ class HistogramPool:
                 hist.reset()
             return hist
         self.misses += 1
-        return Histogram(num_features, num_bins, gradient_dim)
+        return Histogram(num_features, num_bins, gradient_dim, dtype=dtype)
 
     def release(self, hist: Optional[Histogram]) -> None:
         """Return a retired histogram for reuse (``None`` is a no-op)."""
@@ -218,7 +233,8 @@ class HistogramPool:
             return
         if len(self._free_ids) >= self.max_retained:
             return
-        key = (hist.num_features, hist.num_bins, hist.gradient_dim)
+        key = (hist.num_features, hist.num_bins, hist.gradient_dim,
+               hist.dtype)
         self._free.setdefault(key, []).append(hist)
         self._free_ids.add(id(hist))
 
@@ -238,10 +254,26 @@ class HistogramBuilder:
     across simulated workers).  It holds a :class:`HistogramPool` plus
     grow-only scratch arrays for scatter keys and stacked weights, so
     repeated kernel calls on same-scale workloads allocate nothing.
+
+    The innermost scatter-add runs on a pluggable
+    :class:`~repro.core.kernels.KernelBackend` (``backend`` accepts a
+    registry name, an instance, or ``None`` for the portable numpy
+    default); the builder keeps the gather/key-composition machinery and
+    hands the backend precomposed keys plus pooled output buffers.
+    Trainers with a constant-hessian objective set ``constant_hessian``
+    so loop backends can take the no-hessian fast path (bin count times
+    the constant — taken only when bit-identical, i.e. at 1.0).
     """
 
-    def __init__(self, pool: Optional[HistogramPool] = None) -> None:
+    def __init__(self, pool: Optional[HistogramPool] = None,
+                 backend=None) -> None:
+        from .kernels import make_backend
+
         self.pool = pool if pool is not None else HistogramPool()
+        self.backend = make_backend(backend)
+        #: per-instance hessian value when the objective's hessian is
+        #: constant (e.g. 1.0 for square loss); ``None`` otherwise
+        self.constant_hessian: Optional[float] = None
         self._scratch: Dict[str, np.ndarray] = {}
 
     # -- workspaces -----------------------------------------------------------
@@ -275,17 +307,16 @@ class HistogramBuilder:
         """``parent - child`` into a pooled buffer (sibling derivation)."""
         parent._check_compatible(child)
         out = self.pool.acquire(parent.num_features, parent.num_bins,
-                                parent.gradient_dim, zero=False)
+                                parent.gradient_dim, zero=False,
+                                dtype=parent.dtype)
         np.subtract(parent.grad, child.grad, out=out.grad)
         np.subtract(parent.hess, child.hess, out=out.hess)
         return out
 
-    # -- the fused scatter ----------------------------------------------------
+    # -- the scatter dispatch -------------------------------------------------
 
-    #: below this many entries the per-call overhead of ``bincount``
-    #: dominates its streaming cost, so fusing grad+hess into one call
-    #: over stacked weights wins; above it the fusion is a wash and the
-    #: doubled-key construction becomes a pure extra memory pass
+    #: kept as an alias of the numpy backend's fusion threshold — tests
+    #: and perf notes reference it here
     FUSE_THRESHOLD = 1 << 16
 
     def _scatter(self, hist: Histogram, keys: np.ndarray,
@@ -293,33 +324,14 @@ class HistogramBuilder:
                  hess: np.ndarray, size: int) -> None:
         """Scatter-add gradients and hessians of ``entry_rows`` at ``keys``.
 
-        Small scatters fuse the gradient and hessian passes: the hessian
-        half scatters at ``keys + size``, so one ``bincount`` over stacked
-        weights replaces two per class (2·C calls become C) — the common
-        case for the many small nodes deep in a tree.  Large scatters are
-        bandwidth-bound, so they keep separate passes and skip building
-        the doubled key array.  Every bin of ``hist`` is assigned, so
-        callers may acquire the buffer un-zeroed.
+        Dispatches to the builder's kernel backend (see
+        :meth:`repro.core.kernels.KernelBackend.scatter` — the numpy
+        default fuses the grad/hess passes into one ``bincount`` over
+        stacked weights for small nodes).  Every bin of ``hist`` is
+        assigned, so callers may acquire the buffer un-zeroed.
         """
-        n = keys.size
-        if n <= self.FUSE_THRESHOLD:
-            kk = self._buf("fused_keys", 2 * n, np.int64)
-            kk[:n] = keys
-            np.add(keys, size, out=kk[n:])
-            w = self._buf("fused_weights", 2 * n, np.float64)
-            for c in range(grad.shape[1]):
-                np.take(grad[:, c], entry_rows, out=w[:n])
-                np.take(hess[:, c], entry_rows, out=w[n:])
-                flat = np.bincount(kk, weights=w, minlength=2 * size)
-                hist.grad[:, c] = flat[:size]
-                hist.hess[:, c] = flat[size:]
-            return
-        w = self._buf("fused_weights", n, np.float64)
-        for c in range(grad.shape[1]):
-            np.take(grad[:, c], entry_rows, out=w)
-            hist.grad[:, c] = np.bincount(keys, weights=w, minlength=size)
-            np.take(hess[:, c], entry_rows, out=w)
-            hist.hess[:, c] = np.bincount(keys, weights=w, minlength=size)
+        self.backend.scatter(hist, keys, entry_rows, grad, hess, size,
+                             hess_const=self.constant_hessian)
 
     # -- row-store kernel (QD2 / QD4) -----------------------------------------
 
@@ -445,21 +457,11 @@ class HistogramBuilder:
                          entry_rows: np.ndarray, grad: np.ndarray,
                          hess: np.ndarray, size: int,
                          num_slots: int) -> None:
-        """Fused scatter across a whole layer of slot-prefixed keys."""
-        n = keys.size
-        total_size = num_slots * size
-        kk = self._buf("fused_keys", 2 * n, np.int64)
-        kk[:n] = keys
-        np.add(keys, total_size, out=kk[n:])
-        w = self._buf("fused_weights", 2 * n, np.float64)
-        for c in range(grad.shape[1]):
-            np.take(grad[:, c], entry_rows, out=w[:n])
-            np.take(hess[:, c], entry_rows, out=w[n:])
-            flat = np.bincount(kk, weights=w, minlength=2 * total_size)
-            for s, hist in enumerate(hists):
-                hist.grad[:, c] = flat[s * size:(s + 1) * size]
-                hist.hess[:, c] = flat[total_size + s * size:
-                                       total_size + (s + 1) * size]
+        """Scatter across a whole layer of slot-prefixed keys (backend
+        dispatch; the numpy default fuses all slots into one bincount)."""
+        self.backend.scatter_slotted(hists, keys, entry_rows, grad, hess,
+                                     size, num_slots,
+                                     hess_const=self.constant_hessian)
 
     # -- column-store + hybrid index kernel (QD3) -----------------------------
 

@@ -1,0 +1,172 @@
+"""Bit-identity self-checks of the kernel backends.
+
+``repro doctor`` needs a fast, deterministic answer to "does every
+backend that *imports* on this machine also *compute* the same bits as
+the numpy baseline?" — a numba install with a miscompiling LLVM is far
+worse than no numba at all, because training would silently diverge.
+This module runs each backend through every hot path the registry plans
+exercise (all four histogram kernels via a small training run, the
+no-hessian fast path, the compiled float predictor, the bin-quantized
+predictor) and compares against the numpy reference with **exact** float
+equality, mirroring the contract the test suite enforces at scale.
+
+The whole battery is sized to finish in about a second per backend
+(plus numba's one-off JIT warm-up), so the doctor can run it on every
+invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .config import ClusterConfig, TrainConfig
+from .core.gbdt import GBDT
+from .core.histogram import HistogramBuilder
+from .core.kernels import available_backends, make_backend
+from .data.dataset import Dataset, bin_dataset
+from .data.synthetic import make_classification
+from .serve.compiler import compile_ensemble, quantize_ensemble
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one backend's bit-identity battery."""
+
+    backend: str
+    passed: bool
+    checks: int
+    detail: str = ""
+
+    def describe(self) -> str:
+        state = "bit-identical" if self.passed else "MISCOMPARE"
+        tail = f" — {self.detail}" if self.detail else ""
+        return f"{self.backend}: {state} ({self.checks} checks){tail}"
+
+
+def _tree_signature(tree) -> tuple:
+    """Hashable exact encoding of one tree (splits + leaf weights)."""
+    items = []
+    for node_id in sorted(tree.nodes):
+        node = tree.nodes[node_id]
+        if node.is_leaf:
+            items.append((node_id, "leaf",
+                          tuple(np.asarray(node.weight).ravel().tolist())))
+        else:
+            items.append((node_id, "split", node.split.feature,
+                          node.threshold, node.split.default_left))
+    return tuple(items)
+
+
+def _fixture(seed: int = 5):
+    """One small mixed-density dataset pair (classification + regression)
+    shared by every backend's battery."""
+    clf = make_classification(300, 25, density=0.45, seed=seed)
+    reg = Dataset(clf.features,
+                  np.asarray(clf.labels, dtype=np.float64) * 2.0 - 0.5,
+                  task="regression", name="selfcheck-reg")
+    return clf, bin_dataset(clf, 12), reg, bin_dataset(reg, 12)
+
+
+def _train_signature(dataset, binned, objective: str,
+                     backend: Optional[str]) -> tuple:
+    cfg = TrainConfig(num_trees=3, num_layers=4, num_candidates=12,
+                      objective=objective, backend=backend or "")
+    result = GBDT(cfg).fit(dataset, binned=binned)
+    return (tuple(_tree_signature(t) for t in result.ensemble.trees),
+            result.ensemble)
+
+
+def check_backend(name: str, reference: str = "numpy") -> CheckResult:
+    """Run one backend's bit-identity battery against ``reference``.
+
+    Covers the reference trainer's scatter path (logistic hessians), the
+    no-hessian fast path (square loss), a layer-synchronous plan that
+    exercises the slotted scatter (QD1) plus the subtraction-heavy plan
+    (Vero), and both serving traversals.  Every comparison is exact.
+    """
+    checks = 0
+    try:
+        backend = make_backend(name)
+    except Exception as exc:
+        return CheckResult(name, False, checks, f"construction failed: {exc}")
+    del backend
+    clf, clf_binned, reg, reg_binned = _fixture()
+    try:
+        # 1-2: single-process training, logistic + square (no-hess path)
+        for dataset, binned, objective in ((clf, clf_binned, "binary"),
+                                           (reg, reg_binned, "regression")):
+            ref_sig, ref_ens = _train_signature(dataset, binned, objective,
+                                                reference)
+            got_sig, got_ens = _train_signature(dataset, binned, objective,
+                                                name)
+            checks += 1
+            if ref_sig != got_sig:
+                return CheckResult(
+                    name, False, checks,
+                    f"{objective} training trees diverged from "
+                    f"{reference}")
+        # 3-4: distributed plans — slotted scatter (qd1) + subtraction
+        # plus the hybrid/columnwise kernels (qd3-pure covers columnwise)
+        from .systems.plans import get_plan
+
+        cluster = ClusterConfig(num_workers=3)
+        for plan_key in ("qd1", "vero"):
+            sigs = []
+            for candidate in (reference, name):
+                cfg = TrainConfig(num_trees=2, num_layers=4,
+                                  num_candidates=12, backend=candidate)
+                res = get_plan(plan_key).build(cfg, cluster).fit(clf_binned)
+                sigs.append(tuple(_tree_signature(t)
+                                  for t in res.ensemble.trees))
+            checks += 1
+            if sigs[0] != sigs[1]:
+                return CheckResult(
+                    name, False, checks,
+                    f"plan {plan_key} trees diverged from {reference}")
+        # 5: compiled float predictor
+        _, ens = _train_signature(clf, clf_binned, "binary", reference)
+        batch = clf.csc()
+        ref_scores = compile_ensemble(ens, backend=reference).raw_scores(
+            batch)
+        got_scores = compile_ensemble(ens, backend=name).raw_scores(batch)
+        checks += 1
+        if not np.array_equal(ref_scores, got_scores):
+            return CheckResult(name, False, checks,
+                               "compiled predictor scores diverged")
+        # 6: bin-quantized predictor
+        quant = quantize_ensemble(compile_ensemble(ens, backend=name),
+                                  clf_binned.cuts)
+        checks += 1
+        if not np.array_equal(ref_scores, quant.raw_scores(batch)):
+            return CheckResult(name, False, checks,
+                               "quantized predictor scores diverged")
+        # 7: raw scatter parity on a standalone builder (pool + dtype)
+        builder = HistogramBuilder(backend=name)
+        ref_builder = HistogramBuilder(backend=reference)
+        grad = np.ascontiguousarray(
+            np.linspace(-1.0, 1.0, clf.num_instances)[:, None])
+        hess = np.abs(grad) + 0.5
+        rows = np.arange(0, clf.num_instances, 2, dtype=np.int64)
+        got_hist, _ = builder.build_rowstore(clf_binned.binned, rows,
+                                             grad, hess,
+                                             clf_binned.num_bins)
+        ref_hist, _ = ref_builder.build_rowstore(clf_binned.binned, rows,
+                                                 grad, hess,
+                                                 clf_binned.num_bins)
+        checks += 1
+        if not (np.array_equal(ref_hist.grad, got_hist.grad)
+                and np.array_equal(ref_hist.hess, got_hist.hess)):
+            return CheckResult(name, False, checks,
+                               "row-store scatter bins diverged")
+    except Exception as exc:
+        return CheckResult(name, False, checks, f"check crashed: {exc}")
+    return CheckResult(name, True, checks)
+
+
+def check_available_backends(reference: str = "numpy") -> List[CheckResult]:
+    """Bit-identity battery for every backend detection reports."""
+    return [check_backend(name, reference=reference)
+            for name in available_backends()]

@@ -7,7 +7,10 @@ package turns them into production-shaped inference:
 - :mod:`~repro.serve.compiler` — lower an ensemble into a
   struct-of-arrays :class:`CompiledEnsemble` whose vectorized
   level-synchronous predictor is bit-identical to
-  ``TreeEnsemble.raw_scores`` and several times faster on large batches;
+  ``TreeEnsemble.raw_scores`` and several times faster on large batches,
+  plus the opt-in :class:`QuantizedEnsemble` ablation that rewrites
+  thresholds to uint8 bin indices and traverses cache-resident binned
+  batches (still bit-identical);
 - :mod:`~repro.serve.batcher` — micro-batching request scheduler on the
   simulated clock with a per-request latency ledger;
 - :mod:`~repro.serve.registry` — versioned model registry with payload
@@ -20,7 +23,8 @@ from .batcher import (BatchPolicy, BatchRecord, DispatchResult,
                       DropRecord, LatencyStats, MicroBatcher,
                       ModelServer, RequestRecord, RequestTrace,
                       ServingReport, synthetic_trace)
-from .compiler import CompiledEnsemble, compile_ensemble
+from .compiler import (CompiledEnsemble, QuantizedEnsemble,
+                       compile_ensemble, quantize_ensemble)
 from .registry import ModelRegistry, ModelVersion
 from .replica import DEPLOY_KIND, ReplicaSet
 
@@ -36,10 +40,12 @@ __all__ = [
     "ModelRegistry",
     "ModelServer",
     "ModelVersion",
+    "QuantizedEnsemble",
     "ReplicaSet",
     "RequestRecord",
     "RequestTrace",
     "ServingReport",
     "compile_ensemble",
+    "quantize_ensemble",
     "synthetic_trace",
 ]

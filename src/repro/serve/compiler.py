@@ -35,10 +35,12 @@ at compile time — the same two float64 operands, hence the same product
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..core.kernels import MISSING_BIN, make_backend
+from ..core import kernels as _kernels
 from ..core.tree import Tree, TreeEnsemble
 from ..data.matrix import CSCMatrix, CSRMatrix
 
@@ -46,10 +48,12 @@ from ..data.matrix import CSCMatrix, CSRMatrix
 FeatureBatch = Union[CSCMatrix, CSRMatrix, np.ndarray]
 
 # packed slot metadata: | left slot (43 bits) | miss_right (1) | feature (20) |
-_FEATURE_BITS = 20
-_FEATURE_MASK = (1 << _FEATURE_BITS) - 1
-_MISS_BIT = 1 << _FEATURE_BITS
-_CHILD_SHIFT = _FEATURE_BITS + 1
+# (defined in repro.core.kernels, which the traversal kernels compile
+# against; aliased here because the compiler is where they are produced)
+_FEATURE_BITS = _kernels.FEATURE_BITS
+_FEATURE_MASK = _kernels.FEATURE_MASK
+_MISS_BIT = _kernels.MISS_BIT
+_CHILD_SHIFT = _kernels.CHILD_SHIFT
 
 
 class CompiledEnsemble:
@@ -81,7 +85,10 @@ class CompiledEnsemble:
                  left: np.ndarray, right: np.ndarray,
                  default_left: np.ndarray, leaf_slot: np.ndarray,
                  leaf_weights: np.ndarray, tree_root: np.ndarray,
-                 tree_depth: np.ndarray) -> None:
+                 tree_depth: np.ndarray, backend=None) -> None:
+        #: the kernel engine running the traversal (bit-identical across
+        #: backends; see repro.core.kernels)
+        self.backend = make_backend(backend)
         self.num_trees = num_trees
         self.gradient_dim = gradient_dim
         self.learning_rate = learning_rate
@@ -213,23 +220,15 @@ class CompiledEnsemble:
 
     def _advance(self, flat: np.ndarray, num: int, tree: int,
                  has_nan: bool) -> np.ndarray:
-        """Slot of every row after walking one whole tree.
+        """Slot of every row after walking one whole tree (backend
+        dispatch).
 
         ``flat`` is the feature-major batch flattened, so row ``i``'s
         value of feature ``f`` lives at ``f * num + i``.
         """
-        packed, threshold = self._packed, self.threshold
-        rows = np.arange(num, dtype=np.int64)
-        pos = np.full(num, self.tree_root[tree], dtype=np.int64)
-        for _ in range(int(self.tree_depth[tree])):
-            meta = np.take(packed, pos)
-            values = np.take(flat, (meta & _FEATURE_MASK) * num + rows)
-            go_right = values > np.take(threshold, pos)
-            if has_nan:
-                go_right |= np.isnan(values) & ((meta & _MISS_BIT) != 0)
-            pos = meta >> _CHILD_SHIFT
-            pos += go_right
-        return pos
+        return self.backend.advance(self._packed, self.threshold, flat,
+                                    num, int(self.tree_root[tree]),
+                                    int(self.tree_depth[tree]), has_nan)
 
     def raw_scores(self, features: FeatureBatch,
                    num_trees: Optional[int] = None) -> np.ndarray:
@@ -241,15 +240,21 @@ class CompiledEnsemble:
         has_nan = bool(np.isnan(transposed).any())
         use = (self.num_trees if num_trees is None
                else min(num_trees, self.num_trees))
-        scores = np.zeros((num, self.gradient_dim), dtype=np.float64)
-        for t in range(use):
-            pos = self._advance(flat, num, t, has_nan)
-            scores += np.take(self._scaled_by_slot, pos, axis=0)
-        return scores
+        return self.backend.raw_scores(
+            self._packed, self.threshold, self._scaled_by_slot,
+            self.tree_root, self.tree_depth, flat, num, has_nan, use,
+        )
 
 
-def compile_ensemble(ensemble: TreeEnsemble) -> CompiledEnsemble:
-    """Lower a node-dict ensemble into a :class:`CompiledEnsemble`."""
+def compile_ensemble(ensemble: TreeEnsemble,
+                     backend=None) -> CompiledEnsemble:
+    """Lower a node-dict ensemble into a :class:`CompiledEnsemble`.
+
+    ``backend`` selects the traversal kernel engine (a
+    :mod:`repro.core.kernels` registry name, an instance, or ``None``
+    for the portable numpy default); every backend routes and
+    accumulates bit-identically.
+    """
     slots: List[dict] = []
     leaf_weights: List[np.ndarray] = []
     tree_root = np.zeros(len(ensemble.trees) + 1, dtype=np.int32)
@@ -289,6 +294,7 @@ def compile_ensemble(ensemble: TreeEnsemble) -> CompiledEnsemble:
         leaf_weights=weights,
         tree_root=tree_root,
         tree_depth=tree_depth,
+        backend=backend,
     )
 
 
@@ -346,3 +352,138 @@ def _compile_tree(tree: Tree, slots: List[dict],
                 "leaf_slot": -1,
             })
     return depth
+
+
+# ---------------------------------------------------------------------------
+# The bin-quantized predictor ablation
+# ---------------------------------------------------------------------------
+
+#: largest representable bin value — 255 is the missing sentinel
+_MAX_BIN = MISSING_BIN - 1
+
+
+class QuantizedEnsemble:
+    """Bin-quantized view of a :class:`CompiledEnsemble`.
+
+    Every split threshold a histogram-trained model carries is one of
+    the training cut values, so after ``bin_dataset`` the float
+    comparison ``value <= cuts[f][b]`` is equivalent to the integer
+    comparison ``bin(value) <= b`` (for strictly increasing cuts,
+    ``v <= cuts[b]`` iff the count of cuts strictly below ``v`` is at
+    most ``b``).  This class rewrites thresholds to ``int16`` bin
+    indices and traverses **uint8** binned batches: for a wide model the
+    per-level gathers read an array 8x smaller than the float64 batch,
+    which keeps it cache-resident at serving batch sizes.
+
+    Routing and score accumulation reuse the compiled ensemble's packed
+    metadata and shrinkage-scaled weights, so raw scores are
+    *bit-identical* to :meth:`CompiledEnsemble.raw_scores` on the same
+    rows.  Missing entries quantize to the sentinel bin 255 and follow
+    the packed default direction; leaf slots carry threshold 255 so
+    every bin value (sentinel included) parks.  Requires at most 254
+    bins per feature (bin values 0..254 plus the sentinel).
+    """
+
+    def __init__(self, compiled: CompiledEnsemble,
+                 cuts: Sequence[np.ndarray], backend=None) -> None:
+        self.compiled = compiled
+        self.cuts = [np.asarray(c, dtype=np.float64) for c in cuts]
+        self.backend = (make_backend(backend) if backend is not None
+                        else compiled.backend)
+        for f, c in enumerate(self.cuts):
+            if c.size > _MAX_BIN:
+                raise ValueError(
+                    f"feature {f} has {c.size + 1} bins; the quantized "
+                    f"predictor supports at most {_MAX_BIN + 1} "
+                    f"(bin 255 is the missing sentinel)"
+                )
+        self.threshold_bin = np.full(compiled.num_slots, MISSING_BIN,
+                                     dtype=np.int16)
+        for slot in np.flatnonzero(compiled.leaf_slot < 0):
+            f = int(compiled.feature[slot])
+            t = float(compiled.threshold[slot])
+            c = self.cuts[f] if f < len(self.cuts) else None
+            b = int(np.searchsorted(c, t)) if c is not None else 0
+            if c is None or b >= c.size or c[b] != t:
+                raise ValueError(
+                    f"slot {slot} splits feature {f} at {t!r}, which is "
+                    "not on the bin grid — the model must be trained on "
+                    "the same binning the quantizer is given"
+                )
+            self.threshold_bin[slot] = b
+        self.threshold_bin.setflags(write=False)
+
+    @property
+    def num_trees(self) -> int:
+        return self.compiled.num_trees
+
+    @property
+    def gradient_dim(self) -> int:
+        return self.compiled.gradient_dim
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the quantized threshold array on top of the
+        compiled arrays it shares."""
+        return self.compiled.nbytes + self.threshold_bin.nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantizedEnsemble(trees={self.num_trees}, "
+            f"slots={self.compiled.num_slots}, "
+            f"backend={self.backend.name!r})"
+        )
+
+    def bin_batch(self, features: FeatureBatch) -> np.ndarray:
+        """Row-major ``(num_rows, width)`` uint8 binned batch.
+
+        Missing entries (NaN after densification, or unstored sparse
+        entries) become the sentinel bin 255; columns beyond the
+        training cuts are all-missing.  Bin once, serve many.
+        """
+        dense = self.compiled.densify(features)
+        num, width = dense.shape
+        out = np.full((num, width), MISSING_BIN, dtype=np.uint8)
+        for f in range(min(width, len(self.cuts))):
+            col = dense[:, f]
+            ok = ~np.isnan(col)
+            if ok.any():
+                out[ok, f] = np.searchsorted(self.cuts[f], col[ok])
+        return out
+
+    def raw_scores_binned(self, binned: np.ndarray,
+                          num_trees: Optional[int] = None) -> np.ndarray:
+        """Raw scores of an already-binned row-major uint8 batch — the
+        serve-time hot path once inputs are quantized."""
+        if binned.ndim != 2 or binned.dtype != np.uint8:
+            raise ValueError("binned batch must be a 2-D uint8 array")
+        num = binned.shape[0]
+        flat_bins = np.ascontiguousarray(binned.T).reshape(-1)
+        has_missing = bool((binned == MISSING_BIN).any())
+        use = (self.num_trees if num_trees is None
+               else min(num_trees, self.num_trees))
+        return self.backend.raw_scores_quantized(
+            self.compiled._packed, self.threshold_bin,
+            self.compiled._scaled_by_slot, self.compiled.tree_root,
+            self.compiled.tree_depth, flat_bins, num, has_missing, use,
+        )
+
+    def raw_scores(self, features: FeatureBatch,
+                   num_trees: Optional[int] = None) -> np.ndarray:
+        """Quantize then traverse; bit-identical to
+        :meth:`CompiledEnsemble.raw_scores` on the same rows."""
+        return self.raw_scores_binned(self.bin_batch(features),
+                                      num_trees=num_trees)
+
+
+def quantize_ensemble(compiled: CompiledEnsemble,
+                      cuts: Sequence[np.ndarray],
+                      backend=None) -> QuantizedEnsemble:
+    """Rewrite a compiled ensemble's thresholds to bin indices.
+
+    ``cuts`` are the per-feature cut arrays of the
+    :class:`~repro.data.dataset.BinnedDataset` the model was trained on
+    (``binned.cuts``).  Raises if any threshold is off the bin grid or a
+    feature exceeds 254 bins.
+    """
+    return QuantizedEnsemble(compiled, cuts, backend=backend)

@@ -24,6 +24,7 @@ from hypothesis import strategies as st
 
 from repro import ClusterConfig, TrainConfig, make_classification, \
     make_system
+from repro.core.kernels import available_backends
 from repro.cluster.faults import (FaultInjector, FaultPlan,
                                   UnrecoverableFaultError)
 from repro.data.dataset import bin_dataset
@@ -293,3 +294,33 @@ class TestFaultPlanEdges:
         # every event inside the trained range fired; the rest stay pending
         assert all(event.tree >= 2 for event in pending)
         assert system.injector.counters.crashes + len(pending) == 3
+
+
+#: one pinned fault seed per kernel backend — the CI backends job's
+#: chaos row (seeds differ so each backend replays a distinct schedule)
+BACKEND_FAULT_SEEDS = {"numpy": 101, "pyloop": 202, "numba": 303}
+
+
+class TestChaosBackends:
+    """Fault recovery composes with the kernel-backend registry: a
+    faulty run on any available backend must replay to the exact model
+    the fault-free *numpy* run produces — one pinned seed per backend,
+    on the subtraction-heavy plan whose recovery path rebuilds
+    histograms."""
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_faulty_run_matches_clean_numpy(self, binned, backend):
+        seed = BACKEND_FAULT_SEEDS[backend]
+        faults = f"{seed}:crash=2,drop=0.08,timeout=0.03"
+        cluster = ClusterConfig(num_workers=4)
+        clean_cfg = TrainConfig(num_trees=3, num_layers=4,
+                                num_candidates=8)
+        fault_cfg = TrainConfig(num_trees=3, num_layers=4,
+                                num_candidates=8, faults=faults,
+                                backend=backend)
+        clean = make_system("vero", clean_cfg, cluster).fit(binned)
+        faulty = make_system("vero", fault_cfg, cluster).fit(binned)
+        assert len(clean.ensemble.trees) == len(faulty.ensemble.trees)
+        for t_clean, t_faulty in zip(clean.ensemble.trees,
+                                     faulty.ensemble.trees):
+            assert tree_signature(t_clean) == tree_signature(t_faulty)

@@ -241,3 +241,79 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestDoctor:
+    def test_reports_backends_and_selfcheck(self, capsys):
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel backends:" in out
+        assert "numpy" in out and "numba" in out
+        assert "bit-identity self-check" in out
+        assert "all available backends are bit-identical" in out
+
+    def test_skip_selfcheck_only_detects(self, capsys):
+        assert main(["doctor", "--skip-selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel backends:" in out
+        assert "self-check" not in out.replace("--skip-selfcheck", "")
+
+    def test_disable_env_reported(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_BACKENDS", "pyloop")
+        assert main(["doctor", "--skip-selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRO_DISABLE_BACKENDS is masking: pyloop" in out
+
+    def test_miscompare_exits_nonzero(self, capsys, monkeypatch):
+        from repro.core.kernels import PyLoopBackend
+
+        original = PyLoopBackend.scatter
+
+        def corrupt(self, hist, keys, entry_rows, grad, hess, size,
+                    hess_const=None):
+            original(self, hist, keys, entry_rows, grad, hess, size,
+                     hess_const=hess_const)
+            hist.grad += 1e-9
+
+        monkeypatch.setattr(PyLoopBackend, "scatter", corrupt)
+        assert main(["doctor"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestBackendFlags:
+    def test_train_backend_flag_reported(self, capsys):
+        assert main([
+            "train", "--catalog", "higgs", "--scale", "0.02",
+            "--trees", "2", "--layers", "3", "--workers", "2",
+            "--backend", "pyloop",
+        ]) == 0
+        assert "backend=pyloop" in capsys.readouterr().out
+
+    def test_train_backend_auto_resolves(self, capsys):
+        assert main([
+            "train", "--catalog", "higgs", "--scale", "0.02",
+            "--trees", "2", "--layers", "3", "--workers", "2",
+            "--backend", "auto",
+        ]) == 0
+        # auto resolves to a concrete backend name, never the alias
+        assert "backend=auto" not in capsys.readouterr().out
+
+    def test_train_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            main(["train", "--catalog", "higgs", "--scale", "0.02",
+                  "--trees", "1", "--backend", "cuda"])
+
+    def test_serve_bench_backend_and_quantized(self, capsys):
+        assert main(["serve-bench", "--smoke", "--seed", "3",
+                     "--backend", "pyloop", "--quantized"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=pyloop" in out
+        assert "quantized (uint8 bins)" in out
+        assert "exact=True" in out
+
+    def test_advise_backend_prices_compute(self, capsys):
+        assert main(["advise", "--instances", "100000", "--features",
+                     "50", "--nnz-per-instance", "20", "--workers", "4",
+                     "--backend", "numba"]) == 0
+        out = capsys.readouterr().out
+        assert "compute priced for the 'numba' kernel backend" in out
