@@ -12,10 +12,21 @@ Five subcommands cover the everyday workflows:
   serving stack: compiled-vs-naive speedup, micro-batching latency
   percentiles, and a mid-traffic hot-swap with deploy accounting;
 * ``repro advise``  — run the data-management advisor on a workload
-  description (Section 6's open problem);
+  description (Section 6's open problem); ``--adaptive`` recalibrates
+  the cost model against an observed run and prints the
+  calibrated-vs-prior cost of every execution plan;
+* ``repro ledger``  — pretty-print a saved run report (``repro train
+  --report-out``): per-kind wire bytes and seconds including the
+  ``migrate:``/``codec:`` dimensions, compute phases, and the adaptive
+  decision trail;
 * ``repro doctor``  — report detected kernel backends (numba/LLVM
   versions) and run a per-backend bit-identity self-check; exits
   nonzero on a backend that imports but miscompares.
+
+``repro train --plan auto-adapt`` trains through an adaptive
+:class:`~repro.systems.executor.TrainingSession` that recalibrates
+every ``--adapt-every`` trees and migrates execution plans mid-run when
+the projected savings beat the migration bill.
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
 """
@@ -68,7 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "qd3/yggdrasil, qd4/vero, lightgbm-fp")
     train.add_argument("--plan",
                        help="execution-plan registry key (e.g. qd2-ps, "
-                            "qd3-pure, qd4-blocked); overrides --system")
+                            "qd3-pure, qd4-blocked) or 'auto-adapt' for "
+                            "mid-run re-planning; overrides --system")
+    train.add_argument("--adapt-every", type=int, default=4,
+                       help="with --plan auto-adapt: recalibrate the "
+                            "cost model every N trees (default 4)")
+    train.add_argument("--report-out",
+                       help="save the run report (ledger, phases, "
+                            "decisions) as JSON for `repro ledger`")
     train.add_argument("--trees", type=int, default=20)
     train.add_argument("--layers", type=int, default=6)
     train.add_argument("--candidates", type=int, default=20)
@@ -152,6 +170,22 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--backend", default="",
                         help="price compute for this kernel backend "
                              "(numpy/numba/pyloop; default numpy)")
+    advise.add_argument("--adaptive", action="store_true",
+                        help="calibrate the cost model against observed "
+                             "trees and print the calibrated-vs-prior "
+                             "per-plan cost table")
+    advise.add_argument("--report",
+                        help="with --adaptive: calibrate against this "
+                             "saved run report (`repro train "
+                             "--report-out`; shape flags must match the "
+                             "run) instead of an in-process probe")
+
+    ledger = sub.add_parser(
+        "ledger", help="pretty-print a saved run report"
+    )
+    ledger.add_argument("report",
+                        help="run report JSON from `repro train "
+                             "--report-out`")
 
     doctor = sub.add_parser(
         "doctor",
@@ -191,6 +225,7 @@ def cmd_train(args) -> int:
     dataset = _load_training_data(args)
     num_classes = max(args.classes, dataset.num_classes)
     multiclass = dataset.task == "multiclass"
+    adaptive = args.plan == "auto-adapt"
     config = TrainConfig(
         num_trees=args.trees,
         num_layers=args.layers,
@@ -198,10 +233,11 @@ def cmd_train(args) -> int:
         learning_rate=args.learning_rate,
         objective="multiclass" if multiclass else "binary",
         num_classes=num_classes if multiclass else 2,
-        plan=args.plan or "",
+        plan="" if adaptive else (args.plan or ""),
         faults=args.faults,
         codec=args.codec,
         backend=args.backend,
+        adapt=args.adapt_every if adaptive else 0,
     )
     cluster = ClusterConfig(
         num_workers=args.workers,
@@ -211,12 +247,36 @@ def cmd_train(args) -> int:
                                  seed=args.seed)
     from .core.kernels import resolve_backend_name
 
-    system = make_system(config.plan or args.system, config, cluster)
-    result = system.fit(train, valid=valid)
+    if adaptive:
+        from .systems import make_adaptive_session
+
+        session = make_adaptive_session(config, cluster, train,
+                                        valid=valid)
+        print(f"auto-adapt: starting with plan "
+              f"{session.state.plan_key} (recalibrating every "
+              f"{config.adapt} trees)")
+        result = session.run()
+        system = session.system
+    else:
+        system = make_system(config.plan or args.system, config, cluster)
+        result = system.fit(train, valid=valid)
     last = result.evals[-1]
     print(f"system={system.name} quadrant={system.quadrant} "
           f"plan={system.plan.key} workers={args.workers} "
           f"backend={resolve_backend_name(config.backend)}")
+    if len(result.plan_history) > 1:
+        print(f"plan history: {' -> '.join(result.plan_history)} "
+              f"({len(result.migrations)} migration(s), "
+              f"total modeled time "
+              f"{result.total_modeled_seconds():.2f}s)")
+        for m in result.migrations:
+            print(f"  tree {m.tree_index}: {m.source_plan} -> "
+                  f"{m.target_plan}, {m.wire_bytes / 1e6:.2f}MB "
+                  f"migrated in {m.seconds * 1e3:.1f}ms")
+    for decision in result.decisions:
+        verdict = "migrate" if decision.migrate else "stay"
+        print(f"  adapt @ tree {decision.tree_index}: {verdict} — "
+              f"{decision.reason}")
     print(f"final {last.metric_name}={last.metric_value:.4f} after "
           f"{len(result.ensemble)} trees "
           f"({last.elapsed_seconds:.2f}s simulated)")
@@ -258,6 +318,17 @@ def cmd_train(args) -> int:
                       objective=config.objective,
                       num_classes=config.num_classes)
         print(f"model saved to {args.model_out}")
+    if args.report_out:
+        from .ledger import run_report, save_report
+
+        save_report(
+            run_report(result, system=system.name,
+                       dataset=args.catalog or args.data or "",
+                       codec=args.codec, backend=config.backend),
+            args.report_out,
+        )
+        print(f"run report saved to {args.report_out} "
+              f"(view with `repro ledger {args.report_out}`)")
     return 0
 
 
@@ -444,6 +515,113 @@ def cmd_advise(args) -> int:
         lossless = codec == "sparse"
         tag = "lossless" if lossless else "lossy, opt-in"
         print(f"  {codec}: {ratio:6.2f}x ({tag})")
+    if args.adaptive:
+        _advise_adaptive(args, shape, rec)
+    return 0
+
+
+def _advise_adaptive(args, shape: WorkloadShape, rec) -> None:
+    """The ``advise --adaptive`` table: prior vs calibrated plan costs.
+
+    Constants come from a saved run report when ``--report`` names one,
+    else from a small in-process probe of the prior-recommended plan
+    (the scan rate and wire scale are ratios, so they transfer from the
+    capped probe shape to the full workload shape).
+    """
+    from types import SimpleNamespace
+
+    from .systems.advisor import calibrate_constants, price_plans
+    from .systems.costmodel import migration_seconds
+    from .systems.plans import PLANS, get_plan
+
+    network = NetworkModel(bandwidth_gbps=args.bandwidth_gbps)
+    if args.report:
+        from .ledger import load_report
+
+        report = load_report(args.report)
+        if not report["plan_history"] or not report["num_trees"]:
+            raise SystemExit(f"{args.report} records no trained trees")
+        plan = get_plan(report["plan_history"][-1])
+        mean_comp = report["comp_seconds"] / report["num_trees"]
+        mean_comm = report["comm_seconds"] / report["num_trees"]
+        observed = [
+            SimpleNamespace(comp_seconds=mean_comp,
+                            comm_seconds=mean_comm)
+        ] * report["num_trees"]
+        constants = calibrate_constants(
+            shape, args.nnz_per_instance, plan, observed, network,
+            codec=args.codec)
+        source = (f"{report['num_trees']} trees of {plan.key} from "
+                  f"{args.report}")
+    else:
+        from .data.dataset import bin_dataset
+        from .data.synthetic import make_classification
+
+        plan = get_plan(rec.plan_key)
+        probe_n = min(args.instances, 4000)
+        density = min(args.nnz_per_instance / args.features, 1.0)
+        probe = bin_dataset(
+            make_classification(
+                probe_n, args.features,
+                num_classes=max(args.classes, 2), density=density,
+                seed=0,
+            ),
+            args.candidates,
+        )
+        probe_shape = WorkloadShape(
+            num_instances=probe.num_instances,
+            num_features=probe.num_features,
+            num_workers=args.workers,
+            num_layers=args.layers,
+            num_candidates=args.candidates,
+            num_classes=shape.num_classes,
+        )
+        probe_nnz = probe.binned.nnz / probe.num_instances
+        config = TrainConfig(
+            num_trees=2, num_layers=args.layers,
+            num_candidates=args.candidates,
+            objective="multiclass" if args.classes > 2 else "binary",
+            num_classes=args.classes if args.classes > 2 else 2,
+            codec="" if args.codec == "none" else args.codec,
+            backend=args.backend,
+        )
+        cluster = ClusterConfig(num_workers=args.workers,
+                                network=network)
+        result = plan.build(config, cluster).fit(probe)
+        constants = calibrate_constants(
+            probe_shape, probe_nnz, plan, result.tree_reports, network,
+            codec=args.codec)
+        source = (f"in-process probe: {len(result.tree_reports)} trees "
+                  f"of {plan.key} on {probe_n} instances")
+    print(f"\ncalibration ({source}):")
+    print(f"  scan rate: {constants.scan_rate:,.0f} accesses/s "
+          f"(prior {constants.prior_scan_rate:,.0f})")
+    print(f"  wire scale: {constants.comm_scale:.3f}x the modeled "
+          f"network time")
+    prior = price_plans(shape, args.nnz_per_instance, network,
+                        codec=args.codec)
+    calibrated = price_plans(shape, args.nnz_per_instance, network,
+                             constants, codec=args.codec)
+    print("\nper-plan cost, prior vs calibrated (per tree):")
+    print(f"  {'plan':<12} {'prior':>12} {'calibrated':>12} "
+          f"{'migration bill':>15}")
+    for key in sorted(calibrated,
+                      key=lambda k: calibrated[k].total_seconds):
+        bill = migration_seconds(
+            shape, args.nnz_per_instance, plan.partition,
+            PLANS[key].partition, network.bytes_per_second,
+            latency_s=network.latency_s,
+        ) if key != plan.key else 0.0
+        marker = "  <- calibrating plan" if key == plan.key else ""
+        print(f"  {key:<12} {prior[key].total_seconds:11.4f}s "
+              f"{calibrated[key].total_seconds:11.4f}s "
+              f"{bill:14.4f}s{marker}")
+
+
+def cmd_ledger(args) -> int:
+    from .ledger import format_report, load_report
+
+    print(format_report(load_report(args.report)))
     return 0
 
 
@@ -492,6 +670,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "predict": cmd_predict,
         "serve-bench": cmd_serve_bench,
         "advise": cmd_advise,
+        "ledger": cmd_ledger,
         "doctor": cmd_doctor,
     }
     return handlers[args.command](args)

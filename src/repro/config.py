@@ -91,6 +91,13 @@ class TrainConfig:
         the lossless path, so this is purely a speed knob.  Resolved by
         :func:`repro.core.kernels.make_backend` at build time, not here
         — like ``plan``, the config layer stays free of kernel imports.
+    adapt:
+        Adaptive re-planning cadence: every ``adapt`` trees the session
+        recalibrates the cost model against the observed ledger and
+        migrates to a cheaper execution plan when the projected savings
+        over the remaining trees exceed the migration bill (DESIGN.md
+        §13).  ``0`` (the default) disables adaptation; the CLI spells
+        it ``--plan auto-adapt`` with ``--adapt-every``.
     """
 
     num_trees: int = 100
@@ -113,6 +120,7 @@ class TrainConfig:
     faults: str = ""
     codec: str = ""
     backend: str = ""
+    adapt: int = 0
 
     def __post_init__(self) -> None:
         if self.num_trees < 1:
@@ -149,6 +157,8 @@ class TrainConfig:
         if not 0.0 < self.colsample <= 1.0:
             raise ValueError(f"colsample must be in (0, 1], got "
                              f"{self.colsample}")
+        if self.adapt < 0:
+            raise ValueError(f"adapt must be >= 0, got {self.adapt}")
 
     @property
     def uses_sampling(self) -> bool:

@@ -238,9 +238,30 @@ class HistogramPool:
         self._free.setdefault(key, []).append(hist)
         self._free_ids.add(id(hist))
 
-    def clear(self) -> None:
+    def reset(self) -> int:
+        """Drop every parked buffer; returns how many were dropped.
+
+        Plan migration calls this at the tree boundary: the new plan's
+        shard shapes produce differently-shaped histograms, so buffers
+        pooled under the old plan's keys would never be handed out again
+        and would pin memory for the rest of the run.  Hit/miss counters
+        are preserved (they describe the whole session).
+        """
+        dropped = len(self._free_ids)
         self._free.clear()
         self._free_ids.clear()
+        return dropped
+
+    def stats(self) -> Dict[str, int]:
+        """Pool effectiveness counters: retained buffers, hits, misses."""
+        return {
+            "retained": self.retained,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> None:
+        self.reset()
 
 
 # ---------------------------------------------------------------------------

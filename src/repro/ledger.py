@@ -1,0 +1,214 @@
+"""Run-report persistence and pretty-printing (``repro ledger``).
+
+A run report is the JSON-serializable record of one distributed
+training run: the per-kind wire ledger (including the ``migrate:``,
+``retry:``, ``recovery:`` and ``codec:`` dimensions), the per-phase
+compute breakdown, peak memory, and — for adaptive sessions — the full
+migration and decision trail.  ``repro train --report-out`` saves one;
+``repro ledger`` renders it; ``repro advise --adaptive --report``
+recalibrates the cost model against it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List
+
+SCHEMA = "repro-run-report/v1"
+
+#: prefixes that carve the ledger into reporting dimensions, in display
+#: order; kinds matching none of these are base training traffic
+DIMENSION_PREFIXES = ("migrate:", "retry:", "recovery:")
+
+
+def run_report(result, system: str = "", dataset: str = "",
+               codec: str = "", backend: str = "") -> dict:
+    """The JSON-ready report of one :class:`DistTrainResult`."""
+    comm = result.comm
+    phases: Dict[str, float] = {}
+    for report in result.tree_reports:
+        for phase, seconds in report.phase_seconds.items():
+            phases[phase] = phases.get(phase, 0.0) + seconds
+    decisions: List[dict] = []
+    for decision in result.decisions:
+        if hasattr(decision, "payload"):
+            decisions.append(decision.payload())
+        else:
+            decisions.append(dataclasses.asdict(decision))
+    return {
+        "schema": SCHEMA,
+        "system": system,
+        "dataset": dataset,
+        "codec": codec,
+        "backend": backend,
+        "num_trees": len(result.tree_reports),
+        "plan_history": list(result.plan_history),
+        "total_modeled_seconds": result.total_modeled_seconds(),
+        "comp_seconds": sum(r.comp_seconds for r in result.tree_reports),
+        "comm_seconds": sum(r.comm_seconds for r in result.tree_reports),
+        "phase_seconds": phases,
+        "comm": {
+            "total_bytes": comm.total_bytes,
+            "total_seconds": comm.total_seconds,
+            "bytes_by_kind": dict(comm.bytes_by_kind),
+            "seconds_by_kind": dict(comm.seconds_by_kind),
+            "codec_savings_by_kind": comm.codec_savings_by_kind(),
+        },
+        "memory": {
+            "data_bytes": result.memory.data_bytes,
+            "histogram_bytes": result.memory.histogram_bytes,
+        },
+        "migrations": [dataclasses.asdict(m) for m in result.migrations],
+        "decisions": decisions,
+        "tree_seconds": [r.total_seconds for r in result.tree_reports],
+    }
+
+
+def save_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path} is not a run report (schema {schema!r}, "
+            f"expected {SCHEMA!r})"
+        )
+    return report
+
+
+def _fmt_bytes(nbytes: float) -> str:
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return (f"{value:,.0f} {unit}" if unit == "B"
+                    else f"{value:,.1f} {unit}")
+        value /= 1024.0
+    return f"{value:,.1f} GiB"
+
+
+def _dimension_of(kind: str) -> str:
+    for prefix in DIMENSION_PREFIXES:
+        if kind.startswith(prefix):
+            return prefix
+    return "base"
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering of a run report."""
+    lines: List[str] = []
+    head = report.get("system") or "/".join(report.get("plan_history", []))
+    title = f"run report — {head}" if head else "run report"
+    if report.get("dataset"):
+        title += f" on {report['dataset']}"
+    lines.append(title)
+    lines.append(
+        f"  trees: {report['num_trees']}"
+        f"   plans: {' -> '.join(report['plan_history']) or '?'}"
+    )
+    extras = [f"{key}={report[key]}" for key in ("codec", "backend")
+              if report.get(key)]
+    if extras:
+        lines.append(f"  {'   '.join(extras)}")
+    lines.append(
+        f"  modeled time: {report['total_modeled_seconds']:.4f} s"
+        f"  (compute {report['comp_seconds']:.4f} s"
+        f" + network {report['comm_seconds']:.4f} s"
+        + (
+            f" + migration "
+            f"{sum(m['seconds'] for m in report['migrations']):.4f} s"
+            if report.get("migrations") else ""
+        )
+        + ")"
+    )
+
+    phases = report.get("phase_seconds") or {}
+    if phases:
+        lines.append("")
+        lines.append("compute phases")
+        for phase, seconds in sorted(phases.items(),
+                                     key=lambda kv: -kv[1]):
+            lines.append(f"  {phase:<12} {seconds:10.4f} s")
+
+    comm = report["comm"]
+    bytes_by_kind = comm.get("bytes_by_kind") or {}
+    seconds_by_kind = comm.get("seconds_by_kind") or {}
+    groups: Dict[str, List[str]] = {}
+    for kind in bytes_by_kind:
+        groups.setdefault(_dimension_of(kind), []).append(kind)
+    lines.append("")
+    lines.append(
+        f"wire ledger — {_fmt_bytes(comm['total_bytes'])} in "
+        f"{comm['total_seconds']:.4f} s"
+    )
+    for dimension in ("base",) + DIMENSION_PREFIXES:
+        kinds = groups.get(dimension)
+        if not kinds:
+            continue
+        label = "training" if dimension == "base" \
+            else dimension.rstrip(":")
+        subtotal = sum(bytes_by_kind[k] for k in kinds)
+        lines.append(f"  [{label}] {_fmt_bytes(subtotal)}")
+        for kind in sorted(kinds, key=lambda k: -bytes_by_kind[k]):
+            lines.append(
+                f"    {kind:<28} {_fmt_bytes(bytes_by_kind[kind]):>12}"
+                f"  {seconds_by_kind.get(kind, 0.0):10.4f} s"
+            )
+    savings = comm.get("codec_savings_by_kind") or {}
+    if savings:
+        total_saved = sum(savings.values())
+        lines.append(f"  [codec] {_fmt_bytes(total_saved)} saved")
+        for kind in sorted(savings, key=lambda k: -savings[k]):
+            lines.append(
+                f"    {kind:<28} {_fmt_bytes(savings[kind]):>12}"
+            )
+
+    memory = report.get("memory") or {}
+    if memory:
+        lines.append("")
+        lines.append(
+            "peak memory per worker: "
+            f"data {_fmt_bytes(memory.get('data_bytes', 0))}, "
+            f"histograms {_fmt_bytes(memory.get('histogram_bytes', 0))}"
+        )
+
+    migrations = report.get("migrations") or []
+    if migrations:
+        lines.append("")
+        lines.append("migrations")
+        for m in migrations:
+            wire = (m["checkpoint_bytes"] + m["reshard_bytes"]
+                    + m["label_bytes"] + m["decision_bytes"])
+            extra = f", {m['crashes']} crash(es) replayed" \
+                if m.get("crashes") else ""
+            lines.append(
+                f"  tree {m['tree_index']}: {m['source_plan']} -> "
+                f"{m['target_plan']}  {_fmt_bytes(wire)} in "
+                f"{m['seconds']:.4f} s{extra}"
+            )
+
+    decisions = report.get("decisions") or []
+    if decisions:
+        lines.append("")
+        lines.append("adaptive decisions")
+        for d in decisions:
+            verdict = "migrate" if d.get("migrate") else "stay"
+            lines.append(
+                f"  tree {d.get('tree')}: {verdict} "
+                f"[{d.get('source')} -> {d.get('target')}] "
+                f"scan_rate={d.get('scan_rate'):,.0f}/s "
+                f"comm_scale={d.get('comm_scale'):.3f}"
+            )
+            lines.append(
+                f"    savings {d.get('projected_savings_seconds'):.4f} s"
+                f" vs bill {d.get('migration_seconds'):.4f} s"
+                f" over {d.get('trees_remaining')} trees"
+                f" — {d.get('reason')}"
+            )
+    return "\n".join(lines)

@@ -19,23 +19,35 @@ vero      vertical      row        node-to-inst  bitmap-broadcast
 The classic class names (:class:`XGBoostStyle`, :class:`LightGBMStyle`,
 :class:`DimBoostStyle`, :class:`YggdrasilStyle`, :class:`Vero`,
 :class:`LightGBMFeatureParallel`) survive as thin aliases over the
-registry entries.
+registry entries, defined next to the registry in
+:mod:`repro.systems.plans`.
+
+Training runs through a resumable
+:class:`~repro.systems.executor.TrainingSession`, which can migrate
+between plans at tree boundaries (``system.fit`` wraps one).
+:func:`make_adaptive_session` builds a session with an
+:class:`~repro.systems.advisor.AdaptivePolicy` attached — the
+``--plan auto-adapt`` path.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..config import ClusterConfig, TrainConfig
-from .advisor import (QuadrantEstimate, Recommendation, estimate,
+from .advisor import (AdaptDecision, AdaptivePolicy, CalibratedConstants,
+                      PlanCost, QuadrantEstimate, Recommendation,
+                      calibrate_constants, estimate, price_plans,
                       recommend)
 from .base import (DistEvalRecord, DistributedGBDT, DistTrainResult,
                    MemoryReport, TreeReport)
-from .executor import PlanExecutor
-from .feature_parallel import LightGBMFeatureParallel
-from .plans import ALIASES, PLANS, ExecutionPlan, get_plan, plan_keys
-from .qd1 import XGBoostStyle
-from .qd2 import DimBoostStyle, LightGBMStyle
-from .qd3 import YggdrasilStyle
-from .vero import Vero
+from .costmodel import WorkloadShape
+from .executor import (PlanExecutor, SessionCheckpoint, SessionState,
+                       TrainingSession)
+from .migration import MigrationRecord, PlanMigrator
+from .plans import (ALIASES, PLANS, DimBoostStyle, ExecutionPlan,
+                    LightGBMFeatureParallel, LightGBMStyle, Vero,
+                    XGBoostStyle, YggdrasilStyle, get_plan, plan_keys)
 
 #: names that resolve to a dedicated alias class (kwargs accepted)
 _SYSTEMS = {
@@ -80,16 +92,93 @@ def make_system(
     return plan.build(config, cluster)
 
 
+def make_adaptive_session(
+    config: TrainConfig,
+    cluster: ClusterConfig,
+    train,
+    valid=None,
+    start_plan: str = "",
+    every: Optional[int] = None,
+    margin: float = 1.0,
+) -> TrainingSession:
+    """A :class:`TrainingSession` with adaptive re-planning attached.
+
+    ``start_plan`` (or ``config.plan``) names the opening plan; when
+    neither is set the advisor's prior-cost recommendation picks it.
+    The policy recalibrates every ``every`` trees (``config.adapt``, or
+    4 when that is 0) and migrates whenever the projected savings over
+    the remaining trees exceed the migration bill by ``margin``.
+    """
+    session = TrainingSession(
+        _adaptive_start_system(config, cluster, train, start_plan),
+        train, valid=valid,
+    )
+    binned = session.binned
+    shape = WorkloadShape(
+        num_instances=binned.num_instances,
+        num_features=binned.num_features,
+        num_workers=cluster.num_workers,
+        num_layers=config.num_layers,
+        num_candidates=config.num_candidates,
+        num_classes=config.gradient_dim,
+    )
+    avg_nnz = binned.binned.nnz / max(binned.num_instances, 1)
+    session.policy = AdaptivePolicy(
+        shape, avg_nnz, cluster.network,
+        every=every if every is not None else (config.adapt or 4),
+        margin=margin,
+        codec=config.codec or "none",
+    )
+    return session
+
+
+def _adaptive_start_system(config, cluster, train, start_plan):
+    key = start_plan or config.plan
+    if key and key != "auto-adapt":
+        return get_plan(key).build(config, cluster)
+    # no opening plan named: let the prior cost model pick one (the
+    # session migrates away later if the calibrated model disagrees)
+    from ..data.dataset import BinnedDataset, bin_dataset
+
+    binned = train if isinstance(train, BinnedDataset) \
+        else bin_dataset(train, config.num_candidates)
+    shape = WorkloadShape(
+        num_instances=binned.num_instances,
+        num_features=binned.num_features,
+        num_workers=cluster.num_workers,
+        num_layers=config.num_layers,
+        num_candidates=config.num_candidates,
+        num_classes=config.gradient_dim,
+    )
+    avg_nnz = binned.binned.nnz / max(binned.num_instances, 1)
+    verdict = recommend(shape, avg_nnz, cluster.network,
+                        codec=config.codec or "none",
+                        backend=config.backend)
+    return get_plan(verdict.best.plan_key).build(config, cluster)
+
+
 __all__ = [
     "ALIASES",
+    "AdaptDecision",
+    "AdaptivePolicy",
+    "CalibratedConstants",
     "ExecutionPlan",
+    "MigrationRecord",
     "PLANS",
+    "PlanCost",
     "PlanExecutor",
+    "PlanMigrator",
     "QuadrantEstimate",
     "Recommendation",
+    "SessionCheckpoint",
+    "SessionState",
+    "TrainingSession",
+    "WorkloadShape",
+    "calibrate_constants",
     "estimate",
     "get_plan",
     "plan_keys",
+    "price_plans",
     "recommend",
     "DistEvalRecord",
     "DistTrainResult",
@@ -102,5 +191,6 @@ __all__ = [
     "Vero",
     "XGBoostStyle",
     "YggdrasilStyle",
+    "make_adaptive_session",
     "make_system",
 ]

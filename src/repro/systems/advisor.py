@@ -19,15 +19,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from ..config import NetworkModel
 from ..core.kernels import compute_factor
 from .costmodel import (WorkloadShape, expected_recovery_seconds_per_tree,
                         horizontal_comm_bytes_per_tree,
                         horizontal_comm_bytes_per_tree_encoded,
-                        sizehist_bytes, vertical_comm_bytes_per_tree)
-from .plans import ExecutionPlan, get_plan
+                        migration_seconds, sizehist_bytes,
+                        vertical_comm_bytes_per_tree)
+from .plans import PLANS, ExecutionPlan, get_plan
 
 #: key-value pair accesses per second of one worker core; the default is
 #: calibratable via :func:`calibrate_scan_rate`
@@ -309,3 +310,313 @@ def calibrate_scan_rate(sample_seconds: float,
     if sample_seconds <= 0 or sample_accesses <= 0:
         raise ValueError("probe measurements must be > 0")
     return sample_accesses / sample_seconds
+
+
+# ---------------------------------------------------------------------------
+# Adaptive re-planning (DESIGN.md §13)
+# ---------------------------------------------------------------------------
+
+def _plan_comp_profile(plan: ExecutionPlan) -> str:
+    """Which Section 3.2.4 access-count profile prices a plan's compute.
+
+    Derived from the axes, not the registry key, so derived/custom plans
+    price correctly: a full instance-to-node pass is the QD1 profile, a
+    column store with a search-based index the QD3 profile; everything
+    else builds from a row-major node-to-instance scan with subtraction
+    (the QD2/QD4 profile — identical per-worker access counts).
+    """
+    if plan.index == "instance-to-node":
+        return "QD1"
+    if plan.storage == "column":
+        return "QD3"
+    return "QD2" if plan.partition in ("horizontal", "replicated") \
+        else "QD4"
+
+
+def plan_access_counts(shape: WorkloadShape,
+                       avg_nnz_per_instance: float) -> Dict[str, float]:
+    """Per-worker stored-entry accesses per tree, for every registry plan."""
+    base = _access_counts(shape, avg_nnz_per_instance)
+    return {key: base[_plan_comp_profile(plan)]
+            for key, plan in PLANS.items()}
+
+
+def plan_comm_seconds(
+    shape: WorkloadShape,
+    plan: ExecutionPlan,
+    network: NetworkModel,
+    avg_nnz_per_instance: float,
+    codec: str = "none",
+) -> float:
+    """Predicted per-tree communication seconds of one plan.
+
+    Horizontal aggregations pay the Section 3.1.3 histogram traffic
+    (codec-priced when one is set); bitmap-broadcast plans pay the
+    placement bitmaps; a ``local`` aggregation (feature-parallel) pays
+    only the split-info election."""
+    layers = shape.num_layers - 1
+    bps = network.bytes_per_second
+    if plan.aggregation in ("all-reduce", "reduce-scatter",
+                            "parameter-server"):
+        if codec == "none":
+            nbytes = horizontal_comm_bytes_per_tree(shape)
+        else:
+            nbytes = horizontal_comm_bytes_per_tree_encoded(
+                shape, avg_nnz_per_instance, codec)
+        return (nbytes / shape.num_workers / bps
+                + layers * 2 * shape.num_workers * network.latency_s)
+    if plan.aggregation == "local":
+        return layers * 2 * network.latency_s
+    nbytes = vertical_comm_bytes_per_tree(shape)
+    return (nbytes / shape.num_workers / bps
+            + layers * 2 * network.latency_s)
+
+
+@dataclass(frozen=True)
+class CalibratedConstants:
+    """Cost-model constants fitted to an observed ledger.
+
+    ``scan_rate`` replaces :data:`DEFAULT_SCAN_RATE` (entry accesses per
+    second actually achieved); ``comm_scale`` multiplies the predicted
+    communication seconds (observed / predicted — >1 means the wire ran
+    slower than the model, e.g. retries or contention).  By construction
+    the current plan's recalibrated per-tree cost reproduces the
+    observed ledger means exactly.
+    """
+
+    scan_rate: float
+    comm_scale: float
+    trees_observed: int
+    prior_scan_rate: float = DEFAULT_SCAN_RATE
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Per-tree cost of one registry plan under some constants."""
+
+    plan_key: str
+    comp_seconds: float
+    comm_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.comp_seconds + self.comm_seconds
+
+
+def calibrate_constants(
+    shape: WorkloadShape,
+    avg_nnz_per_instance: float,
+    plan: ExecutionPlan,
+    reports: Sequence,
+    network: NetworkModel,
+    codec: str = "none",
+    prior_scan_rate: float = DEFAULT_SCAN_RATE,
+) -> CalibratedConstants:
+    """Fit the per-phase constants to observed per-tree reports.
+
+    ``reports`` are :class:`~repro.systems.base.TreeReport` records of
+    trees trained under ``plan``.  Inverts the advisor's own formulas:
+    the plan's predicted access count over the observed mean compute
+    seconds gives the scan rate, and the observed over predicted
+    communication seconds gives the wire scale.
+    """
+    if not reports:
+        raise ValueError("calibration needs at least one observed tree")
+    comp_obs = sum(r.comp_seconds for r in reports) / len(reports)
+    comm_obs = sum(r.comm_seconds for r in reports) / len(reports)
+    accesses = plan_access_counts(shape, avg_nnz_per_instance).get(
+        plan.key)
+    if accesses is None:
+        accesses = _access_counts(
+            shape, avg_nnz_per_instance)[_plan_comp_profile(plan)]
+    scan_rate = accesses / comp_obs if comp_obs > 0 else prior_scan_rate
+    comm_pred = plan_comm_seconds(shape, plan, network,
+                                  avg_nnz_per_instance, codec)
+    comm_scale = comm_obs / comm_pred if comm_pred > 0 else 1.0
+    return CalibratedConstants(
+        scan_rate=scan_rate, comm_scale=comm_scale,
+        trees_observed=len(reports), prior_scan_rate=prior_scan_rate,
+    )
+
+
+def price_plans(
+    shape: WorkloadShape,
+    avg_nnz_per_instance: float,
+    network: NetworkModel,
+    constants: Optional[CalibratedConstants] = None,
+    codec: str = "none",
+) -> Dict[str, PlanCost]:
+    """Per-tree cost of every registry plan under the given constants
+    (the prior cost model when ``constants`` is ``None``)."""
+    scan_rate = constants.scan_rate if constants else DEFAULT_SCAN_RATE
+    comm_scale = constants.comm_scale if constants else 1.0
+    accesses = plan_access_counts(shape, avg_nnz_per_instance)
+    out: Dict[str, PlanCost] = {}
+    for key, plan in PLANS.items():
+        out[key] = PlanCost(
+            plan_key=key,
+            comp_seconds=accesses[key] / scan_rate,
+            comm_seconds=comm_scale * plan_comm_seconds(
+                shape, plan, network, avg_nnz_per_instance, codec),
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class AdaptDecision:
+    """One adaptive re-planning verdict, with its full inputs.
+
+    Recorded on :attr:`DistTrainResult.decisions` whether or not the
+    session migrated, and (for migrations) broadcast to the workers as
+    the ``migrate:decision`` ledger payload — so ``repro ledger`` can
+    show why every plan change happened.
+    """
+
+    tree_index: int
+    current_plan: str
+    target_plan: str
+    migrate: bool
+    reason: str
+    scan_rate: float
+    comm_scale: float
+    trees_observed: int
+    trees_remaining: int
+    current_cost_per_tree: float
+    target_cost_per_tree: float
+    projected_savings_seconds: float
+    migration_seconds: float
+    plan_costs: Dict[str, float] = field(default_factory=dict)
+
+    def payload(self) -> dict:
+        """JSON-ready decision inputs (the ``migrate:decision`` bytes)."""
+        return {
+            "tree": self.tree_index,
+            "source": self.current_plan,
+            "target": self.target_plan,
+            "migrate": self.migrate,
+            "reason": self.reason,
+            "scan_rate": round(self.scan_rate, 3),
+            "comm_scale": round(self.comm_scale, 6),
+            "trees_observed": self.trees_observed,
+            "trees_remaining": self.trees_remaining,
+            "current_cost_per_tree": round(self.current_cost_per_tree, 9),
+            "target_cost_per_tree": round(self.target_cost_per_tree, 9),
+            "projected_savings_seconds": round(
+                self.projected_savings_seconds, 9),
+            "migration_seconds": round(self.migration_seconds, 9),
+        }
+
+
+class AdaptivePolicy:
+    """Mid-run re-planning: recalibrate, re-price, switch when it pays.
+
+    Every ``every`` trees the policy fits :class:`CalibratedConstants`
+    to the trees observed since the last migration, re-prices all
+    registry plans plus the migration bill, and tells the session to
+    migrate when the projected savings over the remaining trees exceed
+    that bill by ``margin``.  Attached to a
+    :class:`~repro.systems.executor.TrainingSession` via its ``policy``
+    argument (the ``--plan auto-adapt`` path).
+
+    ``candidates`` restricts which registry plans the policy may migrate
+    to (the current plan is always eligible to keep).  The default
+    considers every plan; pass a whitelist to e.g. keep replicated
+    plans — priced cheap on the wire but costing ``W`` full data copies
+    the pricing does not see — off the table.
+    """
+
+    def __init__(
+        self,
+        shape: WorkloadShape,
+        avg_nnz_per_instance: float,
+        network: NetworkModel,
+        every: int = 4,
+        min_observed: int = 1,
+        margin: float = 1.0,
+        codec: str = "none",
+        candidates: Optional[Sequence[str]] = None,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if margin <= 0:
+            raise ValueError(f"margin must be > 0, got {margin}")
+        self.shape = shape
+        self.avg_nnz = avg_nnz_per_instance
+        self.network = network
+        self.every = every
+        self.min_observed = max(min_observed, 1)
+        self.margin = margin
+        self.codec = codec
+        if candidates is not None:
+            unknown = sorted(set(candidates) - set(PLANS))
+            if unknown:
+                raise KeyError(f"unknown candidate plans: {unknown}")
+            candidates = tuple(candidates)
+        self.candidates = candidates
+        #: report index where the current plan's observations begin
+        self._observe_from = 0
+
+    def consider(self, session) -> Optional[AdaptDecision]:
+        """The session's tree-boundary hook; ``None`` means keep going."""
+        t = session.state.tree_index
+        if t % self.every != 0:
+            return None
+        plan = getattr(session.system, "plan", None)
+        if plan is None:
+            return None
+        reports = session.result.tree_reports[self._observe_from:]
+        if len(reports) < self.min_observed:
+            return None
+        constants = calibrate_constants(
+            self.shape, self.avg_nnz, plan, reports, self.network,
+            codec=self.codec)
+        costs = price_plans(self.shape, self.avg_nnz, self.network,
+                            constants, codec=self.codec)
+        current = costs[plan.key]
+        eligible = [
+            cost for key, cost in costs.items()
+            if key == plan.key or self.candidates is None
+            or key in self.candidates
+        ]
+        best = min(eligible, key=lambda c: c.total_seconds)
+        remaining = session.num_trees - t
+        savings = (current.total_seconds - best.total_seconds) * remaining
+        bill = migration_seconds(
+            self.shape, self.avg_nnz,
+            plan.partition, PLANS[best.plan_key].partition,
+            self.network.bytes_per_second,
+            latency_s=self.network.latency_s,
+        )
+        should = (best.plan_key != plan.key
+                  and savings > bill * self.margin)
+        if should:
+            reason = (
+                f"{best.plan_key} saves "
+                f"{(current.total_seconds - best.total_seconds) * 1e3:.1f}"
+                f" ms/tree x {remaining} trees > migration bill "
+                f"{bill * 1e3:.1f} ms"
+            )
+            self._observe_from = len(session.result.tree_reports)
+        elif best.plan_key == plan.key:
+            reason = f"{plan.key} remains the cheapest plan"
+        else:
+            reason = (
+                f"projected savings {savings * 1e3:.1f} ms do not cover "
+                f"the {bill * 1e3:.1f} ms migration bill"
+            )
+        return AdaptDecision(
+            tree_index=t,
+            current_plan=plan.key,
+            target_plan=best.plan_key,
+            migrate=should,
+            reason=reason,
+            scan_rate=constants.scan_rate,
+            comm_scale=constants.comm_scale,
+            trees_observed=constants.trees_observed,
+            trees_remaining=remaining,
+            current_cost_per_tree=current.total_seconds,
+            target_cost_per_tree=costs[best.plan_key].total_seconds,
+            projected_savings_seconds=savings,
+            migration_seconds=bill,
+            plan_costs={k: c.total_seconds for k, c in costs.items()},
+        )

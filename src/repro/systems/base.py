@@ -26,12 +26,11 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..config import ClusterConfig, TrainConfig
-from ..core.gbdt import evaluate
 from ..core.histogram import Histogram, HistogramBuilder, HistogramPool
 from ..core.loss import Loss, make_loss
 from ..core.split import SplitInfo, find_best_split, leaf_weight
 from ..core.tree import Tree, TreeEnsemble
-from ..data.dataset import BinnedDataset, Dataset, bin_dataset
+from ..data.dataset import BinnedDataset, Dataset
 from ..cluster.codecs import get_codec_stack
 from ..cluster.network import CommStats, SimulatedNetwork
 
@@ -81,13 +80,30 @@ class DistEvalRecord:
 
 @dataclass
 class DistTrainResult:
-    """Model plus the full cost/quality record of a distributed run."""
+    """Model plus the full cost/quality record of a distributed run.
+
+    ``plan_history`` lists every execution plan the run trained under, in
+    order (one entry for a static run); ``migrations`` and ``decisions``
+    record the :class:`~repro.systems.migration.MigrationRecord` and
+    :class:`~repro.systems.advisor.AdaptDecision` trail of an adaptive
+    session (both empty for a static run).
+    """
 
     ensemble: TreeEnsemble
     tree_reports: List[TreeReport] = field(default_factory=list)
     evals: List[DistEvalRecord] = field(default_factory=list)
     memory: MemoryReport = field(default_factory=MemoryReport)
     comm: CommStats = field(default_factory=CommStats)
+    plan_history: List[str] = field(default_factory=list)
+    migrations: List = field(default_factory=list)
+    decisions: List = field(default_factory=list)
+
+    def total_modeled_seconds(self) -> float:
+        """Simulated cost of the whole run: trees plus migration bills."""
+        return (
+            sum(r.total_seconds for r in self.tree_reports)
+            + sum(m.seconds for m in self.migrations)
+        )
 
     def mean_tree_seconds(self) -> float:
         if not self.tree_reports:
@@ -281,62 +297,18 @@ class DistributedGBDT:
         valid: Optional[Dataset] = None,
         num_trees: Optional[int] = None,
     ) -> DistTrainResult:
-        """Train on a dataset (binned on the fly) or a pre-binned dataset."""
-        cfg = self.config
-        if isinstance(train, BinnedDataset):
-            binned = train
-        else:
-            binned = bin_dataset(train, cfg.num_candidates)
-        self._binned = binned
-        self._setup(binned)
-        ensemble = TreeEnsemble(self.loss.num_outputs, cfg.learning_rate,
-                                objective=cfg.objective,
-                                num_classes=cfg.num_classes)
-        # checkpointing reads the committed model through this reference
-        self._ensemble = ensemble
-        result = DistTrainResult(ensemble)
-        scores = self.loss.init_scores(binned.num_instances)
-        valid_scores = (
-            self.loss.init_scores(valid.num_instances)
-            if valid is not None else None
-        )
-        grad_unit = self._measure_gradient_unit(binned, scores)
-        elapsed = 0.0
-        rounds = cfg.num_trees if num_trees is None else num_trees
-        for t in range(rounds):
-            clock = WorkerClock(self.cluster.num_workers,
-                                self.cluster.worker_speeds)
-            comm_before = self.net.snapshot()
-            grad, hess = self.loss.gradients(binned.labels, scores)
-            clock.charge_all(grad_unit * self._gradient_instances(),
-                             phase="gradient")
-            tree, leaf_of_instance = self._train_tree(grad, hess, clock)
-            ensemble.append(tree)
-            scores += cfg.learning_rate * _leaf_scores(tree,
-                                                       leaf_of_instance)
-            comm_delta = self.net.snapshot().minus(comm_before)
-            report = TreeReport(
-                comp_seconds=clock.elapsed,
-                comm_seconds=comm_delta.total_seconds,
-                comm_bytes=comm_delta.total_bytes,
-                phase_seconds=clock.phase_breakdown(),
-            )
-            result.tree_reports.append(report)
-            elapsed += report.total_seconds
-            if valid is not None:
-                valid_scores += cfg.learning_rate * tree.predict(valid.csc())
-                rec = evaluate(self.loss, valid, valid_scores, t,
-                               train_loss=0.0)
-                result.evals.append(
-                    DistEvalRecord(t, rec.metric_name, rec.metric_value,
-                                   elapsed)
-                )
-        result.memory = MemoryReport(
-            data_bytes=self._data_bytes(),
-            histogram_bytes=self._histogram_peak_bytes(),
-        )
-        result.comm = self.net.snapshot()
-        return result
+        """Train on a dataset (binned on the fly) or a pre-binned dataset.
+
+        The tree loop itself lives in
+        :class:`~repro.systems.executor.TrainingSession`; this wrapper
+        runs one session to completion.  Callers that need to pause,
+        checkpoint, or migrate plans mid-run construct the session
+        directly.
+        """
+        from .executor import TrainingSession
+
+        return TrainingSession(self, train, valid=valid,
+                               num_trees=num_trees).run()
 
     def predict(self, ensemble: TreeEnsemble,
                 dataset: Dataset) -> np.ndarray:

@@ -210,6 +210,54 @@ def recovery_restore_bytes(shape: WorkloadShape,
     return 8.0 * shard_entries + state
 
 
+def migration_wire_bytes(
+    shape: WorkloadShape,
+    avg_nnz_per_instance: float,
+    source_partition: str,
+    target_partition: str,
+) -> float:
+    """Projected wire bytes of one plan migration (DESIGN.md §13).
+
+    Mirrors the :class:`~repro.systems.migration.PlanMigrator` charges:
+    the checkpointed placement state always ships; changing the
+    partition axis reshards the stored entries at the reshard machinery's
+    ``(W-1)/W`` wire fraction (every worker for a replicated target);
+    leaving horizontal partitioning broadcasts the labels.  A
+    storage-only migration ships only the checkpoint.
+    """
+    total = float(checkpoint_state_bytes(
+        shape, vertical=source_partition != "horizontal"))
+    if source_partition != target_partition:
+        entries = shape.num_instances * avg_nnz_per_instance
+        copies = (
+            float(shape.num_workers - 1)
+            if target_partition == "replicated"
+            else (shape.num_workers - 1) / shape.num_workers
+        )
+        total += 8.0 * entries * copies
+    if source_partition == "horizontal" and target_partition != "horizontal":
+        total += 4.0 * shape.num_instances * (shape.num_workers - 1)
+    return total
+
+
+def migration_seconds(
+    shape: WorkloadShape,
+    avg_nnz_per_instance: float,
+    source_partition: str,
+    target_partition: str,
+    bytes_per_second: float,
+    latency_s: float = 0.0,
+) -> float:
+    """Projected migration bill: wire time plus per-worker latencies
+    (one checkpoint transfer, one reshard stream per worker, one
+    decision broadcast)."""
+    wire = migration_wire_bytes(shape, avg_nnz_per_instance,
+                                source_partition, target_partition)
+    transfers = 2 + (shape.num_workers
+                     if source_partition != target_partition else 0)
+    return wire / bytes_per_second + transfers * latency_s
+
+
 def expected_recovery_seconds_per_tree(
     shape: WorkloadShape,
     avg_nnz_per_instance: float,

@@ -35,7 +35,7 @@ the final model is bit-identical to the fault-free run.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
@@ -46,14 +46,17 @@ from ..cluster.faults import (CrashEvent, FaultInjector, FaultPlan,
 from ..cluster.network import CommStats
 from ..cluster.transform import TransformResult, horizontal_to_vertical
 from ..config import ClusterConfig, TrainConfig
+from ..core.gbdt import evaluate
 from ..core.indexing import NodeToInstanceIndex
-from ..core.tree import Tree, layer_nodes
-from ..data.dataset import BinnedDataset, Dataset
-from .base import DistributedGBDT, DistTrainResult, HistogramStore, \
-    WorkerClock
+from ..core.tree import Tree, TreeEnsemble, layer_nodes
+from ..data.dataset import BinnedDataset, Dataset, bin_dataset
+from .base import (DistEvalRecord, DistributedGBDT, DistTrainResult,
+                   HistogramStore, MemoryReport, TreeReport, WorkerClock,
+                   _leaf_scores)
 from .strategies import AGGREGATIONS, INDEX_PLANS, PARTITIONS, STORAGES
 
 if TYPE_CHECKING:
+    from .migration import MigrationRecord
     from .plans import ExecutionPlan
 
 
@@ -363,3 +366,284 @@ class PlanExecutor(DistributedGBDT):
         result = self.fit(transform.global_binned, valid=valid,
                           num_trees=num_trees)
         return result, transform
+
+
+# ---------------------------------------------------------------------------
+# The resumable training session
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SessionState:
+    """Boosting state that outlives a single tree.
+
+    Everything the old monolithic ``fit`` loop kept in locals — the next
+    tree index, the raw score vectors, the simulated elapsed clock, and
+    which plan is current — lives here explicitly, so a session can stop
+    at any tree boundary and continue later (same process via
+    :meth:`TrainingSession.run`, another process via
+    :class:`SessionCheckpoint`), possibly under a different plan.
+    """
+
+    tree_index: int = 0
+    plan_key: str = ""
+    scores: Optional[np.ndarray] = None
+    valid_scores: Optional[np.ndarray] = None
+    elapsed_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class SessionCheckpoint:
+    """The session's persistence format at a tree boundary.
+
+    This generalizes :class:`TreeCheckpoint` — which captures only what
+    one tree replay needs — into everything a *session* resume needs:
+    the committed model (as a serialized payload), the boosting scores,
+    the simulated clock, and the plan the session was executing.  The
+    embedded ``tree_checkpoint`` carries the placement/ledger snapshot
+    exactly as crash recovery uses it.
+    """
+
+    tree_index: int
+    plan_key: str
+    model_payload: dict
+    scores: np.ndarray
+    valid_scores: Optional[np.ndarray]
+    elapsed_seconds: float
+    tree_checkpoint: Optional[TreeCheckpoint] = None
+    plan_history: Tuple[str, ...] = field(default_factory=tuple)
+
+
+class TrainingSession:
+    """Resumable driver of one distributed training run.
+
+    Owns the per-run state (:class:`SessionState`, the ensemble, the
+    result records) and drives any :class:`DistributedGBDT` through the
+    shared boosting loop one tree at a time:
+
+    * :meth:`step` trains exactly one tree;
+    * :meth:`run` loops to ``num_trees`` (or an earlier ``until``
+      boundary, leaving the session resumable);
+    * :meth:`migrate` swaps the execution plan at the current tree
+      boundary via :class:`~repro.systems.migration.PlanMigrator`;
+    * :meth:`checkpoint` / :meth:`resume` persist and rebuild a session
+      across processes.
+
+    With a ``policy`` (an :class:`~repro.systems.advisor.AdaptivePolicy`)
+    attached, the session consults it at every tree boundary and applies
+    any migration it decides — the ``--plan auto-adapt`` path.
+    """
+
+    def __init__(
+        self,
+        system: DistributedGBDT,
+        train: "Dataset | BinnedDataset",
+        valid: Optional[Dataset] = None,
+        num_trees: Optional[int] = None,
+        policy=None,
+    ) -> None:
+        cfg = system.config
+        if isinstance(train, BinnedDataset):
+            binned = train
+        else:
+            binned = bin_dataset(train, cfg.num_candidates)
+        self.system = system
+        self.binned = binned
+        self.valid = valid
+        self.policy = policy
+        self.num_trees = cfg.num_trees if num_trees is None else num_trees
+        system._binned = binned
+        system._setup(binned)
+        self.ensemble = TreeEnsemble(
+            system.loss.num_outputs, cfg.learning_rate,
+            objective=cfg.objective, num_classes=cfg.num_classes,
+        )
+        # checkpointing reads the committed model through this reference
+        system._ensemble = self.ensemble
+        self.result = DistTrainResult(self.ensemble)
+        plan = getattr(system, "plan", None)
+        self.state = SessionState(
+            tree_index=0,
+            plan_key=plan.key if plan is not None else system.name,
+            scores=system.loss.init_scores(binned.num_instances),
+            valid_scores=(
+                system.loss.init_scores(valid.num_instances)
+                if valid is not None else None
+            ),
+        )
+        self.result.plan_history.append(self.state.plan_key)
+        self._grad_unit = system._measure_gradient_unit(
+            binned, self.state.scores)
+        self._peak_data_bytes = 0
+        self._peak_hist_bytes = 0
+        self._migrator = None
+
+    # -- the boosting loop, one tree at a time ---------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.state.tree_index >= self.num_trees
+
+    def step(self) -> TreeReport:
+        """Train exactly one tree and advance the session state."""
+        if self.done:
+            raise RuntimeError(
+                f"session already trained {self.num_trees} trees"
+            )
+        system, cfg, state = self.system, self.system.config, self.state
+        t = state.tree_index
+        clock = WorkerClock(system.cluster.num_workers,
+                            system.cluster.worker_speeds)
+        comm_before = system.net.snapshot()
+        grad, hess = system.loss.gradients(self.binned.labels,
+                                           state.scores)
+        clock.charge_all(self._grad_unit * system._gradient_instances(),
+                         phase="gradient")
+        tree, leaf_of_instance = system._train_tree(grad, hess, clock)
+        self.ensemble.append(tree)
+        state.scores += cfg.learning_rate * _leaf_scores(tree,
+                                                         leaf_of_instance)
+        comm_delta = system.net.snapshot().minus(comm_before)
+        report = TreeReport(
+            comp_seconds=clock.elapsed,
+            comm_seconds=comm_delta.total_seconds,
+            comm_bytes=comm_delta.total_bytes,
+            phase_seconds=clock.phase_breakdown(),
+        )
+        self.result.tree_reports.append(report)
+        state.elapsed_seconds += report.total_seconds
+        state.tree_index = t + 1
+        if self.valid is not None:
+            state.valid_scores += cfg.learning_rate * tree.predict(
+                self.valid.csc())
+            rec = evaluate(system.loss, self.valid, state.valid_scores, t,
+                           train_loss=0.0)
+            self.result.evals.append(
+                DistEvalRecord(t, rec.metric_name, rec.metric_value,
+                               state.elapsed_seconds)
+            )
+        return report
+
+    def run(self, until: Optional[int] = None) -> DistTrainResult:
+        """Train to completion (or pause at the ``until`` tree boundary).
+
+        Returns the result record — final when the session is done,
+        in-progress (memory/comm not yet finalized) when paused early.
+        """
+        target = self.num_trees if until is None \
+            else min(until, self.num_trees)
+        while self.state.tree_index < target:
+            if self.policy is not None and self.state.tree_index > 0:
+                self._consult_policy()
+            self.step()
+        if self.done:
+            self._finalize()
+        return self.result
+
+    def _finalize(self) -> None:
+        system = self.system
+        self.result.memory = MemoryReport(
+            data_bytes=max(self._peak_data_bytes, system._data_bytes()),
+            histogram_bytes=max(self._peak_hist_bytes,
+                                system._histogram_peak_bytes()),
+        )
+        self.result.comm = system.net.snapshot()
+
+    # -- plan migration ---------------------------------------------------------
+
+    @property
+    def migrator(self):
+        """The session's :class:`~repro.systems.migration.PlanMigrator`."""
+        if self._migrator is None:
+            from .migration import PlanMigrator
+
+            self._migrator = PlanMigrator(self)
+        return self._migrator
+
+    def migrate(self, target, decision=None) -> "MigrationRecord":
+        """Switch to the ``target`` plan at the current tree boundary."""
+        return self.migrator.migrate(target, decision=decision)
+
+    def _adopt_system(self, system: DistributedGBDT,
+                      record: "MigrationRecord") -> None:
+        """Commit a completed migration: swap executors, keep the books."""
+        old = self.system
+        self._peak_data_bytes = max(self._peak_data_bytes,
+                                    old._data_bytes())
+        self._peak_hist_bytes = max(self._peak_hist_bytes,
+                                    old._histogram_peak_bytes())
+        self.system = system
+        self.state.plan_key = record.target_plan
+        self.state.elapsed_seconds += record.seconds
+        self.result.migrations.append(record)
+        self.result.plan_history.append(record.target_plan)
+        self._grad_unit = system._measure_gradient_unit(
+            self.binned, self.state.scores)
+
+    def _consult_policy(self) -> None:
+        decision = self.policy.consider(self)
+        if decision is None:
+            return
+        self.result.decisions.append(decision)
+        if decision.migrate:
+            self.migrate(decision.target_plan, decision=decision)
+
+    # -- persistence ------------------------------------------------------------
+
+    def checkpoint(self) -> SessionCheckpoint:
+        """Snapshot the session at the current tree boundary."""
+        from ..core.serialize import ensemble_to_dict
+
+        state = self.state
+        tree_cp = None
+        if isinstance(self.system, PlanExecutor):
+            tree_cp = self.system._take_checkpoint(state.tree_index)
+        return SessionCheckpoint(
+            tree_index=state.tree_index,
+            plan_key=state.plan_key,
+            model_payload=ensemble_to_dict(self.ensemble),
+            scores=state.scores.copy(),
+            valid_scores=(None if state.valid_scores is None
+                          else state.valid_scores.copy()),
+            elapsed_seconds=state.elapsed_seconds,
+            tree_checkpoint=tree_cp,
+            plan_history=tuple(self.result.plan_history),
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint: SessionCheckpoint,
+        config: TrainConfig,
+        cluster: ClusterConfig,
+        train: "Dataset | BinnedDataset",
+        valid: Optional[Dataset] = None,
+        num_trees: Optional[int] = None,
+        policy=None,
+    ) -> "TrainingSession":
+        """Rebuild a session from a checkpoint and continue from there.
+
+        The resumed session re-trains nothing: the committed trees come
+        from the checkpoint payload, and training picks up at
+        ``checkpoint.tree_index``.  Its traffic ledger starts fresh (the
+        checkpoint pins the pre-resume ledger via its embedded
+        ``tree_checkpoint``).
+        """
+        from ..core.serialize import ensemble_from_dict
+        from .plans import get_plan
+
+        system = get_plan(checkpoint.plan_key).build(config, cluster)
+        session = cls(system, train, valid=valid, num_trees=num_trees,
+                      policy=policy)
+        restored = ensemble_from_dict(checkpoint.model_payload)
+        session.ensemble.trees[:] = restored.trees
+        session.state.tree_index = checkpoint.tree_index
+        session.state.scores = checkpoint.scores.copy()
+        session.state.valid_scores = (
+            None if checkpoint.valid_scores is None
+            else checkpoint.valid_scores.copy()
+        )
+        session.state.elapsed_seconds = checkpoint.elapsed_seconds
+        session.result.plan_history[:] = list(
+            checkpoint.plan_history or (checkpoint.plan_key,))
+        system._trees_trained = checkpoint.tree_index
+        return session

@@ -1,25 +1,8 @@
-"""Feature-parallel LightGBM (Appendix D of the paper).
+"""Deprecated location of :class:`LightGBMFeatureParallel` (now in
+``plans``)."""
 
-Since the ExecutionPlan refactor this is a thin alias over the
-``qd2-fp`` registry entry: no dataset partitioning — every worker loads
-a full copy and builds histograms only for its assigned feature subset.
-Split finding proceeds like vertical partitioning (local best +
-election), but node splitting is local everywhere — no placement bitmap
-is broadcast because every worker owns all the data.  The price is
-``W`` full copies of the dataset, which is why the paper calls it
-impractical for large-scale workloads.
-"""
+from .plans import LightGBMFeatureParallel, _deprecated_alias_module
 
-from __future__ import annotations
+_deprecated_alias_module(__name__)
 
-from ..config import ClusterConfig, TrainConfig
-from .executor import PlanExecutor
-from .plans import get_plan
-
-
-class LightGBMFeatureParallel(PlanExecutor):
-    """LightGBM's feature-parallel mode: full data copy per worker."""
-
-    def __init__(self, config: TrainConfig,
-                 cluster: ClusterConfig) -> None:
-        super().__init__(config, cluster, get_plan("qd2-fp"))
+__all__ = ["LightGBMFeatureParallel"]

@@ -179,3 +179,85 @@ def get_plan(key: str) -> ExecutionPlan:
             f"unknown plan {key!r}; known: "
             f"{', '.join(sorted(set(PLANS) | set(ALIASES)))}"
         ) from None
+
+
+# ---------------------------------------------------------------------------
+# Classic class-name aliases over the registry entries
+# ---------------------------------------------------------------------------
+#
+# These lived in per-quadrant modules (systems/qd1.py, qd2.py, qd3.py,
+# vero.py, feature_parallel.py) when each quadrant was a real subclass;
+# since the ExecutionPlan refactor they are one-line wrappers, so they
+# live here with the registry — the single source of plan truth.  The
+# old module paths remain as deprecation shims.
+
+from .executor import PlanExecutor  # noqa: E402 — needs no plan symbols
+
+
+def _deprecated_alias_module(name: str) -> None:
+    """The deprecation shim shared by the folded per-quadrant modules."""
+    import warnings
+
+    warnings.warn(
+        f"{name} is deprecated; import the alias classes from "
+        "repro.systems (they live in repro.systems.plans now)",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
+class XGBoostStyle(PlanExecutor):
+    """QD1: horizontal + column-store with all-reduce aggregation."""
+
+    def __init__(self, config: "TrainConfig",
+                 cluster: "ClusterConfig") -> None:
+        super().__init__(config, cluster, get_plan("qd1"))
+
+
+class LightGBMStyle(PlanExecutor):
+    """QD2: horizontal + row-store with reduce-scatter aggregation."""
+
+    def __init__(self, config: "TrainConfig",
+                 cluster: "ClusterConfig") -> None:
+        super().__init__(config, cluster, get_plan("qd2"))
+
+
+class DimBoostStyle(PlanExecutor):
+    """QD2 with parameter-server aggregation (DimBoost architecture)."""
+
+    def __init__(self, config: "TrainConfig",
+                 cluster: "ClusterConfig") -> None:
+        super().__init__(config, cluster, get_plan("qd2-ps"))
+
+
+class YggdrasilStyle(PlanExecutor):
+    """QD3: vertical + column-store.
+
+    ``index_mode`` selects the registry entry: ``"hybrid"`` (plan
+    ``qd3``, the paper's scan-or-search kernel) or ``"columnwise"``
+    (plan ``qd3-pure``, pure Yggdrasil's per-column index with per-layer
+    reorders — Appendix C compares the two).
+    """
+
+    def __init__(self, config: "TrainConfig", cluster: "ClusterConfig",
+                 index_mode: str = "hybrid") -> None:
+        if index_mode not in ("hybrid", "columnwise"):
+            raise ValueError(f"unknown index_mode: {index_mode!r}")
+        plan = get_plan("qd3" if index_mode == "hybrid" else "qd3-pure")
+        super().__init__(config, cluster, plan)
+        self.index_mode = index_mode
+
+
+class Vero(PlanExecutor):
+    """QD4: vertical + row-store (the paper's system)."""
+
+    def __init__(self, config: "TrainConfig",
+                 cluster: "ClusterConfig") -> None:
+        super().__init__(config, cluster, get_plan("vero"))
+
+
+class LightGBMFeatureParallel(PlanExecutor):
+    """Feature-parallel LightGBM: full data copy per worker (App. D)."""
+
+    def __init__(self, config: "TrainConfig",
+                 cluster: "ClusterConfig") -> None:
+        super().__init__(config, cluster, get_plan("qd2-fp"))

@@ -1,21 +1,7 @@
-"""QD1 — horizontal partitioning + column-store (XGBoost style).
+"""Deprecated location of :class:`XGBoostStyle` (now in ``plans``)."""
 
-Since the ExecutionPlan refactor this is a thin alias: the behavior
-lives in the ``qd1`` registry entry (horizontal partition, CSC column
-store, level-wise instance-to-node pass, ring all-reduce with a leader
-split find) composed by :class:`~repro.systems.executor.PlanExecutor`.
-"""
+from .plans import XGBoostStyle, _deprecated_alias_module
 
-from __future__ import annotations
+_deprecated_alias_module(__name__)
 
-from ..config import ClusterConfig, TrainConfig
-from .executor import PlanExecutor
-from .plans import get_plan
-
-
-class XGBoostStyle(PlanExecutor):
-    """Horizontal + column-store with all-reduce aggregation."""
-
-    def __init__(self, config: TrainConfig,
-                 cluster: ClusterConfig) -> None:
-        super().__init__(config, cluster, get_plan("qd1"))
+__all__ = ["XGBoostStyle"]

@@ -1,30 +1,7 @@
-"""QD2 — horizontal partitioning + row-store (LightGBM / DimBoost style).
+"""Deprecated location of the QD2 aliases (now in ``plans``)."""
 
-Since the ExecutionPlan refactor these are thin aliases over the ``qd2``
-and ``qd2-ps`` registry entries: horizontal partition, CSR row store and
-a node-to-instance index with histogram subtraction, aggregated by
-reduce-scatter (:class:`LightGBMStyle`) or a parameter-server push
-(:class:`DimBoostStyle` — the DimBoost architecture [17]).
-"""
+from .plans import DimBoostStyle, LightGBMStyle, _deprecated_alias_module
 
-from __future__ import annotations
+_deprecated_alias_module(__name__)
 
-from ..config import ClusterConfig, TrainConfig
-from .executor import PlanExecutor
-from .plans import get_plan
-
-
-class LightGBMStyle(PlanExecutor):
-    """Horizontal + row-store with reduce-scatter aggregation."""
-
-    def __init__(self, config: TrainConfig,
-                 cluster: ClusterConfig) -> None:
-        super().__init__(config, cluster, get_plan("qd2"))
-
-
-class DimBoostStyle(PlanExecutor):
-    """QD2 with parameter-server aggregation (DimBoost architecture)."""
-
-    def __init__(self, config: TrainConfig,
-                 cluster: ClusterConfig) -> None:
-        super().__init__(config, cluster, get_plan("qd2-ps"))
+__all__ = ["LightGBMStyle", "DimBoostStyle"]

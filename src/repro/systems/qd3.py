@@ -1,32 +1,7 @@
-"""QD3 — vertical partitioning + column-store (Yggdrasil style).
+"""Deprecated location of :class:`YggdrasilStyle` (now in ``plans``)."""
 
-Since the ExecutionPlan refactor this is a thin alias over two registry
-entries, selected by ``index_mode``:
+from .plans import YggdrasilStyle, _deprecated_alias_module
 
-* ``"hybrid"`` (default, plan ``qd3``) — the paper's own QD3
-  implementation (Section 5.2.2): per column, choose linear scan with
-  instance-to-node lookups or binary search of the node's instances,
-  whichever is cheaper.
-* ``"columnwise"`` (plan ``qd3-pure``) — pure Yggdrasil: a column-wise
-  node-to-instance index gives free per-node slices but costs an
-  ``O(nnz)`` reorder of every column at each layer split (Appendix C
-  compares the two).
-"""
+_deprecated_alias_module(__name__)
 
-from __future__ import annotations
-
-from ..config import ClusterConfig, TrainConfig
-from .executor import PlanExecutor
-from .plans import get_plan
-
-
-class YggdrasilStyle(PlanExecutor):
-    """Vertical + column-store."""
-
-    def __init__(self, config: TrainConfig, cluster: ClusterConfig,
-                 index_mode: str = "hybrid") -> None:
-        if index_mode not in ("hybrid", "columnwise"):
-            raise ValueError(f"unknown index_mode: {index_mode!r}")
-        plan = get_plan("qd3" if index_mode == "hybrid" else "qd3-pure")
-        super().__init__(config, cluster, plan)
-        self.index_mode = index_mode
+__all__ = ["YggdrasilStyle"]

@@ -1,24 +1,7 @@
-"""QD4 — Vero: vertical partitioning + row-store (the paper's system).
+"""Deprecated location of :class:`Vero` (now in ``plans``)."""
 
-Since the ExecutionPlan refactor this is a thin alias over the ``vero``
-registry entry: vertical column groups kept as CSR rows of
-``(group-local feature id, bin index)`` pairs, a node-to-instance index
-with histogram subtraction, local best splits without any histogram
-aggregation, and placement bitmap broadcast (Section 4.2).
-``fit_from_raw`` (inherited from the executor) runs the full five-step
-horizontal-to-vertical transformation first (Section 4.2.1).
-"""
+from .plans import Vero, _deprecated_alias_module
 
-from __future__ import annotations
+_deprecated_alias_module(__name__)
 
-from ..config import ClusterConfig, TrainConfig
-from .executor import PlanExecutor
-from .plans import get_plan
-
-
-class Vero(PlanExecutor):
-    """Vertical + row-store distributed GBDT."""
-
-    def __init__(self, config: TrainConfig,
-                 cluster: ClusterConfig) -> None:
-        super().__init__(config, cluster, get_plan("vero"))
+__all__ = ["Vero"]

@@ -1,0 +1,60 @@
+"""The folded alias modules: one home in ``plans``, shims elsewhere."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+
+import pytest
+
+from repro import ClusterConfig, TrainConfig
+from repro.systems import (DimBoostStyle, LightGBMFeatureParallel,
+                           LightGBMStyle, Vero, XGBoostStyle,
+                           YggdrasilStyle)
+from repro.systems import plans as plans_module
+
+SHIMS = {
+    "repro.systems.qd1": ("XGBoostStyle",),
+    "repro.systems.qd2": ("LightGBMStyle", "DimBoostStyle"),
+    "repro.systems.qd3": ("YggdrasilStyle",),
+    "repro.systems.vero": ("Vero",),
+    "repro.systems.feature_parallel": ("LightGBMFeatureParallel",),
+}
+
+CONFIG = TrainConfig(num_trees=1, num_layers=3, num_candidates=4)
+CLUSTER = ClusterConfig(num_workers=2)
+
+
+@pytest.mark.parametrize("module_name,class_names",
+                         sorted(SHIMS.items()))
+def test_shim_warns_and_reexports(module_name, class_names):
+    sys.modules.pop(module_name, None)
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        module = importlib.import_module(module_name)
+    for name in class_names:
+        # the shim re-exports the canonical class object, not a copy
+        assert getattr(module, name) is getattr(plans_module, name)
+    assert sorted(module.__all__) == sorted(class_names)
+
+
+@pytest.mark.parametrize("cls,plan_key", [
+    (XGBoostStyle, "qd1"),
+    (LightGBMStyle, "qd2"),
+    (DimBoostStyle, "qd2-ps"),
+    (Vero, "vero"),
+    (LightGBMFeatureParallel, "qd2-fp"),
+])
+def test_alias_builds_its_registry_plan(cls, plan_key):
+    system = cls(CONFIG, CLUSTER)
+    assert system.plan.key == plan_key
+
+
+def test_yggdrasil_index_mode_selects_the_plan():
+    assert YggdrasilStyle(CONFIG, CLUSTER).plan.key == "qd3"
+    hybrid = YggdrasilStyle(CONFIG, CLUSTER, index_mode="hybrid")
+    assert hybrid.index_mode == "hybrid"
+    pure = YggdrasilStyle(CONFIG, CLUSTER, index_mode="columnwise")
+    assert pure.plan.key == "qd3-pure"
+    assert pure.index_mode == "columnwise"
+    with pytest.raises(ValueError, match="index_mode"):
+        YggdrasilStyle(CONFIG, CLUSTER, index_mode="bogus")
