@@ -19,6 +19,10 @@ Five subcommands cover the everyday workflows:
   --report-out``): per-kind wire bytes and seconds including the
   ``migrate:``/``codec:`` dimensions, compute phases, and the adaptive
   decision trail;
+* ``repro scenarios`` — list/run/report the seeded traffic scenarios
+  (diurnal, flash-crowd, heavy-tail multi-tenant, hot-swap-under-fire):
+  replays the full serving stack on the simulated clock and prints the
+  per-tenant SLO/latency/drop table from the ``scenario-report/v1``;
 * ``repro doctor``  — report detected kernel backends (numba/LLVM
   versions) and run a per-backend bit-identity self-check; exits
   nonzero on a backend that imports but miscompares.
@@ -186,6 +190,35 @@ def build_parser() -> argparse.ArgumentParser:
     ledger.add_argument("report",
                         help="run report JSON from `repro train "
                              "--report-out`")
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="list/run/report seeded traffic scenarios",
+    )
+    scen_sub = scenarios.add_subparsers(dest="scenario_command",
+                                        required=True)
+    scen_sub.add_parser("list", help="list the shipped scenarios")
+    scen_run = scen_sub.add_parser(
+        "run", help="replay scenarios through the serving stack"
+    )
+    scen_run.add_argument("names", nargs="*",
+                          help="scenario names (default: all shipped)")
+    scen_run.add_argument("--scale", type=float, default=1.0,
+                          help="time-scale factor (shrinks the window, "
+                               "keeps rates; e.g. 0.25 for a quick run)")
+    scen_run.add_argument("--smoke", action="store_true",
+                          help="tiny CI run: every scenario at "
+                               "--scale 0.2, invariants enforced")
+    scen_run.add_argument("--report-out",
+                          help="save the scenario report JSON here "
+                               "(single scenario) or under this "
+                               "directory (multiple)")
+    scen_report = scen_sub.add_parser(
+        "report", help="pretty-print a saved scenario report"
+    )
+    scen_report.add_argument("report",
+                             help="scenario-report/v1 JSON from "
+                                  "`repro scenarios run --report-out`")
 
     doctor = sub.add_parser(
         "doctor",
@@ -625,6 +658,53 @@ def cmd_ledger(args) -> int:
     return 0
 
 
+def cmd_scenarios(args) -> int:
+    """``repro scenarios list|run|report``."""
+    import os
+
+    from .ledger import (format_scenario_report, load_scenario_report,
+                         save_scenario_report)
+    from .serve.scenarios import SCENARIOS, ScenarioRunner, get_scenario
+
+    if args.scenario_command == "list":
+        for name in SCENARIOS:
+            scenario = SCENARIOS[name]()
+            print(f"{name:<22} seed={scenario.seed:<6} "
+                  f"tenants={len(scenario.tenants)} "
+                  f"window={scenario.duration_s:.2f}s")
+            if scenario.description:
+                print(f"    {scenario.description}")
+        return 0
+
+    if args.scenario_command == "report":
+        print(format_scenario_report(load_scenario_report(args.report)))
+        return 0
+
+    names = args.names or list(SCENARIOS)
+    scale = 0.2 if args.smoke else args.scale
+    failed = False
+    for position, name in enumerate(names):
+        scenario = get_scenario(name, scale=scale)
+        report = ScenarioRunner(scenario).run()
+        print(format_scenario_report(report))
+        if position + 1 < len(names):
+            print()
+        if not all(report["invariants"].values()):
+            failed = True
+        if args.report_out:
+            if len(names) == 1:
+                path = args.report_out
+            else:
+                os.makedirs(args.report_out, exist_ok=True)
+                path = os.path.join(args.report_out, f"{name}.json")
+            save_scenario_report(report, path)
+    if failed:
+        print("FAIL: a scenario violated a ledger invariant "
+              "(see above)")
+        return 1
+    return 0
+
+
 def cmd_doctor(args) -> int:
     """Backend detection report plus the bit-identity battery.
 
@@ -671,6 +751,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve-bench": cmd_serve_bench,
         "advise": cmd_advise,
         "ledger": cmd_ledger,
+        "scenarios": cmd_scenarios,
         "doctor": cmd_doctor,
     }
     return handlers[args.command](args)

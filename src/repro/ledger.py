@@ -17,6 +17,9 @@ from typing import Dict, List
 
 SCHEMA = "repro-run-report/v1"
 
+#: schema tag of serving-scenario reports (``repro scenarios``)
+SCENARIO_SCHEMA = "scenario-report/v1"
+
 #: prefixes that carve the ledger into reporting dimensions, in display
 #: order; kinds matching none of these are base training traffic
 DIMENSION_PREFIXES = ("migrate:", "retry:", "recovery:")
@@ -81,6 +84,99 @@ def load_report(path: str) -> dict:
             f"expected {SCHEMA!r})"
         )
     return report
+
+
+def scenario_report_bytes(report: dict) -> bytes:
+    """The canonical byte encoding of a scenario report.
+
+    Sorted keys, two-space indent, trailing newline — the exact bytes
+    :func:`save_scenario_report` writes and the determinism conformance
+    tests compare, so "byte-identical reports" means what it says.
+    """
+    return (json.dumps(report, indent=2, sort_keys=True) + "\n").encode()
+
+
+def save_scenario_report(report: dict, path: str) -> None:
+    if report.get("schema") != SCENARIO_SCHEMA:
+        raise ValueError(
+            f"not a scenario report (schema {report.get('schema')!r}, "
+            f"expected {SCENARIO_SCHEMA!r})"
+        )
+    with open(path, "wb") as fh:
+        fh.write(scenario_report_bytes(report))
+
+
+def load_scenario_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    schema = report.get("schema")
+    if schema != SCENARIO_SCHEMA:
+        raise ValueError(
+            f"{path} is not a scenario report (schema {schema!r}, "
+            f"expected {SCENARIO_SCHEMA!r})"
+        )
+    return report
+
+
+def format_scenario_report(report: dict) -> str:
+    """Human-readable rendering of a ``scenario-report/v1``."""
+    lines: List[str] = []
+    totals = report["totals"]
+    lines.append(f"scenario report — {report['scenario']} "
+                 f"(seed {report['seed']})")
+    if report.get("description"):
+        lines.append(f"  {report['description']}")
+    lines.append(
+        f"  arrivals: {totals['arrivals']:,}   served: "
+        f"{totals['served']:,}   dropped: {totals['dropped']:,} "
+        f"({totals['drop_rate']:.1%})   batches: {totals['batches']:,}"
+    )
+    lines.append(
+        f"  latency: p50 {totals['p50_s'] * 1e3:.2f} ms   "
+        f"p95 {totals['p95_s'] * 1e3:.2f} ms   "
+        f"p99 {totals['p99_s'] * 1e3:.2f} ms   "
+        f"max {totals['max_s'] * 1e3:.2f} ms"
+    )
+    lines.append(
+        f"  throughput: {totals['throughput_rps']:,.0f} req/s over "
+        f"{totals['makespan_s']:.3f} s   SLO violations: "
+        f"{totals['slo_violations']:,} "
+        f"({totals['slo_violation_rate']:.1%})"
+    )
+    lines.append("")
+    lines.append(f"  {'tenant':<12} {'pri':>3} {'arrivals':>8} "
+                 f"{'drop%':>6} {'p50 ms':>8} {'p99 ms':>8} "
+                 f"{'SLO ms':>7} {'viol%':>6}")
+    for name, t in sorted(report["tenants"].items()):
+        lines.append(
+            f"  {name:<12} {t['priority']:>3} {t['arrivals']:>8,} "
+            f"{t['drop_rate']:>6.1%} {t['p50_s'] * 1e3:>8.2f} "
+            f"{t['p99_s'] * 1e3:>8.2f} {t['slo_s'] * 1e3:>7.1f} "
+            f"{t['slo_violation_rate']:>6.1%}"
+        )
+    cache = report.get("cache")
+    if cache is not None:
+        lines.append("")
+        lines.append(
+            f"  cache: {cache['hit_rate']:.1%} hit rate "
+            f"({cache['hits']:,} hits / {cache['misses']:,} misses), "
+            f"{cache['evictions']:,} evictions, "
+            f"{cache['invalidations']} invalidations"
+        )
+    wire = report.get("wire") or {}
+    if wire:
+        lines.append("")
+        lines.append(
+            f"  wire: deploy {_fmt_bytes(wire['deploy_bytes'])} "
+            f"(raw {_fmt_bytes(wire['deploy_raw_bytes'])}), "
+            f"retries {_fmt_bytes(wire['retry_bytes'])}"
+        )
+    lines.append(
+        f"  versions served: {report['versions_served']}   invariants: "
+        + ", ".join(f"{k}={'ok' if v else 'VIOLATED'}"
+                    for k, v in sorted(report["invariants"].items()))
+    )
+    return "\n".join(lines)
 
 
 def _fmt_bytes(nbytes: float) -> str:

@@ -16,36 +16,61 @@ package turns them into production-shaped inference:
 - :mod:`~repro.serve.registry` — versioned model registry with payload
   checksums, atomic hot-swap, and rollback;
 - :mod:`~repro.serve.replica` — replicated serving over the simulated
-  cluster with ``deploy:model`` byte accounting and load balancing.
+  cluster with ``deploy:model`` byte accounting and load balancing;
+- :mod:`~repro.serve.cache` — opt-in exact-hit
+  :class:`PredictionCache` keyed on quantized bin ids, with an LRU
+  bound, version invalidation and a full hit/miss/eviction ledger;
+- :mod:`~repro.serve.scenarios` — declarative seeded traffic scenarios
+  (diurnal curves, flash crowds, heavy-tailed multi-tenant fleets with
+  latency SLOs and admission priorities) and the
+  :class:`ScenarioRunner` conformance harness emitting byte-identical
+  ``scenario-report/v1`` JSON.
 """
 
 from .batcher import (BatchPolicy, BatchRecord, DispatchResult,
                       DropRecord, LatencyStats, MicroBatcher,
                       ModelServer, RequestRecord, RequestTrace,
                       ServingReport, synthetic_trace)
+from .cache import CacheStats, PredictionCache
 from .compiler import (CompiledEnsemble, QuantizedEnsemble,
                        compile_ensemble, quantize_ensemble)
 from .registry import ModelRegistry, ModelVersion
 from .replica import DEPLOY_KIND, ReplicaSet
+from .scenarios import (SCENARIO_SCHEMA, SCENARIOS, LoadShape, Scenario,
+                        ScenarioRunner, TenantSpec,
+                        audit_priority_admission, build_trace,
+                        get_scenario, run_scenario)
 
 __all__ = [
     "BatchPolicy",
     "BatchRecord",
+    "CacheStats",
     "CompiledEnsemble",
     "DEPLOY_KIND",
     "DispatchResult",
     "DropRecord",
     "LatencyStats",
+    "LoadShape",
     "MicroBatcher",
     "ModelRegistry",
     "ModelServer",
     "ModelVersion",
+    "PredictionCache",
     "QuantizedEnsemble",
     "ReplicaSet",
     "RequestRecord",
     "RequestTrace",
+    "SCENARIOS",
+    "SCENARIO_SCHEMA",
+    "Scenario",
+    "ScenarioRunner",
     "ServingReport",
+    "TenantSpec",
+    "audit_priority_admission",
+    "build_trace",
     "compile_ensemble",
+    "get_scenario",
     "quantize_ensemble",
+    "run_scenario",
     "synthetic_trace",
 ]

@@ -89,23 +89,61 @@ class RequestTrace:
     ``features`` is a dense ``(num_requests, num_features)`` float64
     matrix (``NaN`` marks missing values, matching the sparse-input
     convention of :class:`~repro.serve.compiler.CompiledEnsemble`);
-    ``arrivals`` is nondecreasing simulated seconds.
+    ``arrivals`` is finite, nondecreasing simulated seconds.  A ``NaN``
+    or infinite arrival is rejected here rather than silently producing
+    negative queue delays downstream (``NaN`` compares false against
+    everything, so a diff-based monotonicity check alone lets it
+    through).
+
+    ``tenants`` and ``priorities`` are optional per-request ``int``
+    arrays for multi-tenant traffic: ``tenants[i]`` names the fleet
+    tenant that issued request ``i`` (an index into whatever tenant
+    table the trace builder keeps) and ``priorities[i]`` is its
+    admission priority class — **higher values are more important** and
+    are shed last under overload.  Single-tenant traces leave both
+    ``None``; every request then belongs to tenant 0 at priority 0.
     """
 
     features: np.ndarray
     arrivals: np.ndarray
+    tenants: Optional[np.ndarray] = None
+    priorities: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.features.ndim != 2:
             raise ValueError("trace features must be 2-D")
         if self.arrivals.shape != (self.features.shape[0],):
             raise ValueError("one arrival time per request required")
+        if self.arrivals.size and not np.all(np.isfinite(self.arrivals)):
+            raise ValueError(
+                "arrival times must be finite (a NaN or infinite "
+                "arrival would corrupt every queue-delay downstream)"
+            )
         if self.arrivals.size and np.any(np.diff(self.arrivals) < 0):
             raise ValueError("arrival times must be nondecreasing")
+        for name in ("tenants", "priorities"):
+            extra = getattr(self, name)
+            if extra is None:
+                continue
+            if extra.shape != (self.features.shape[0],):
+                raise ValueError(f"one {name[:-1]} entry per request "
+                                 "required")
+            if not np.issubdtype(extra.dtype, np.integer):
+                raise ValueError(f"{name} must be an integer array")
 
     @property
     def num_requests(self) -> int:
         return self.features.shape[0]
+
+    def tenant_of(self, request_id: int) -> int:
+        """Tenant index of one request (0 for single-tenant traces)."""
+        return (0 if self.tenants is None
+                else int(self.tenants[request_id]))
+
+    def priority_of(self, request_id: int) -> int:
+        """Admission priority of one request (0 when unprioritized)."""
+        return (0 if self.priorities is None
+                else int(self.priorities[request_id]))
 
     def csc(self):
         """The trace rows as a :class:`~repro.data.matrix.CSCMatrix`.
@@ -176,12 +214,19 @@ class DropRecord:
     ``reason`` is ``"reject"`` (drop-tail: the request was turned away
     at arrival) or ``"shed-oldest"`` (drop-head: it was admitted but
     evicted at ``drop_s`` to make room for a newer arrival).
+
+    ``tenant`` and ``priority`` attribute the drop to the tenant that
+    offered the request and its admission class (both 0 on
+    single-tenant, unprioritized traces) — per-tenant drop rates in the
+    scenario reports are computed from exactly these fields.
     """
 
     request_id: int
     arrival_s: float
     drop_s: float
     reason: str
+    tenant: int = 0
+    priority: int = 0
 
     @property
     def queued_s(self) -> float:
@@ -302,11 +347,15 @@ class ModelServer:
     is resolved once per dispatched batch.  ``service_model`` maps a
     batch size to simulated service seconds; when omitted, the measured
     wall-clock of the compiled predictor is used (computation-is-real).
+
+    ``cache`` (opt-in) is a :class:`~repro.serve.cache.PredictionCache`
+    consulted per dispatched row; with a deterministic ``service_model``
+    only the rows that *miss* are billed, so repeats get cheaper batches.
     """
 
     def __init__(self, model: Union[CompiledEnsemble, ModelRegistry],
-                 service_model: Optional[Callable[[int], float]] = None
-                 ) -> None:
+                 service_model: Optional[Callable[[int], float]] = None,
+                 cache=None) -> None:
         self._registry = model if isinstance(model, ModelRegistry) else None
         self._compiled = model if isinstance(model, CompiledEnsemble) \
             else None
@@ -315,6 +364,7 @@ class ModelServer:
                 "model must be a CompiledEnsemble or a ModelRegistry"
             )
         self.service_model = service_model
+        self.cache = cache
         self._free_s = 0.0
 
     def resolve(self) -> Tuple[CompiledEnsemble, int]:
@@ -332,10 +382,15 @@ class ModelServer:
                  close_s: float) -> DispatchResult:
         compiled, version = self.resolve()
         began = time.perf_counter()
-        scores = compiled.raw_scores(features)
+        if self.cache is None:
+            scores = compiled.raw_scores(features)
+            billable = features.shape[0]
+        else:
+            scores, billable = self.cache.serve(
+                version, features, compiled.raw_scores)
         measured = time.perf_counter() - began
         seconds = (measured if self.service_model is None
-                   else float(self.service_model(features.shape[0])))
+                   else float(self.service_model(billable)))
         start = max(close_s, self._free_s)
         self._free_s = start + seconds
         return DispatchResult(
@@ -439,6 +494,29 @@ class MicroBatcher:
                              else np.zeros((0, 0)))
         return report
 
+    @staticmethod
+    def _shed_victim(trace: RequestTrace, backlog: List[int],
+                     newcomer: int) -> Optional[int]:
+        """Backlog position the shed policy evicts to admit ``newcomer``,
+        or ``None`` when the newcomer itself must be refused.
+
+        Unprioritized traces shed the queue head (plain drop-head).
+        With priorities, admission is class-aware: the victim is the
+        *oldest request of the lowest priority class queued* — so a
+        higher-priority request is never dropped while a lower-priority
+        one sits in the queue — and a newcomer below every queued class
+        is refused rather than admitted over anyone's head.
+        """
+        if trace.priorities is None:
+            return 0
+        lowest = min(trace.priority_of(r) for r in backlog)
+        if trace.priority_of(newcomer) < lowest:
+            return None
+        for pos, request in enumerate(backlog):
+            if trace.priority_of(request) == lowest:
+                return pos
+        raise AssertionError("unreachable: lowest class vanished")
+
     def _run_bounded(self, trace: RequestTrace,
                      swaps: Sequence[SwapEvent],
                      collect_scores: bool) -> ServingReport:
@@ -446,12 +524,14 @@ class MicroBatcher:
         requests, overflow resolved by the overload policy.
 
         Requests are admitted at their arrival instant.  A full queue
-        either turns the newcomer away (``reject``) or evicts the
-        current queue head (``shed-oldest``); evicting the head restarts
-        the delay budget from the new head, so a shedding queue under
-        sustained overload keeps dispatching full, fresh batches.
-        ``report.records`` follows dispatch order (with shedding this is
-        not request order); ``report.scores`` rows align with it.
+        either turns the newcomer away (``reject``) or evicts a queued
+        victim (``shed-oldest``: the oldest request of the lowest
+        priority class present, see :meth:`_shed_victim`); evicting the
+        head restarts the delay budget from the new head, so a shedding
+        queue under sustained overload keeps dispatching full, fresh
+        batches.  ``report.records`` follows dispatch order (with
+        shedding this is not request order); ``report.scores`` rows
+        align with it.
         """
         policy = self.policy
         arrivals = trace.arrivals
@@ -486,14 +566,28 @@ class MicroBatcher:
                 if len(backlog) < policy.max_queue:
                     backlog.append(i)
                 elif policy.overload == "reject":
-                    report.dropped.append(
-                        DropRecord(i, now, now, "reject"))
-                else:
-                    victim = backlog.pop(0)
                     report.dropped.append(DropRecord(
-                        victim, float(arrivals[victim]), now,
-                        "shed-oldest"))
-                    backlog.append(i)
+                        i, now, now, "reject",
+                        tenant=trace.tenant_of(i),
+                        priority=trace.priority_of(i)))
+                else:
+                    victim_pos = self._shed_victim(trace, backlog, i)
+                    if victim_pos is None:
+                        # the newcomer is strictly the lowest admission
+                        # class present — it is turned away instead of
+                        # evicting anyone more important
+                        report.dropped.append(DropRecord(
+                            i, now, now, "reject",
+                            tenant=trace.tenant_of(i),
+                            priority=trace.priority_of(i)))
+                    else:
+                        victim = backlog.pop(victim_pos)
+                        report.dropped.append(DropRecord(
+                            victim, float(arrivals[victim]), now,
+                            "shed-oldest",
+                            tenant=trace.tenant_of(victim),
+                            priority=trace.priority_of(victim)))
+                        backlog.append(i)
                 i += 1
                 continue
             size = min(len(backlog), policy.max_batch_size)

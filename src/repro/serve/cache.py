@@ -1,0 +1,206 @@
+"""Exact-hit prediction cache for repeated feature vectors.
+
+Production request streams are heavily repetitive — the same user, item,
+or configuration row is scored again and again — so the serving stack
+offers an opt-in :class:`PredictionCache` in front of the compiled
+predictor.  The cache is deliberately conservative:
+
+* **Exact hits only.**  A request hits the cache only when its *key*
+  matches a cached entry exactly; there is no nearest-neighbour or
+  tolerance matching, so a cached answer is always the answer the
+  predictor itself would have produced.
+* **Keys are quantized bin ids.**  With the training cut grid supplied
+  (``cuts`` from :class:`~repro.data.dataset.BinnedDataset`), a row is
+  keyed by the bytes of its uint8 bin-id vector — the same quantization
+  the :class:`~repro.serve.compiler.QuantizedEnsemble` proves lossless:
+  every split threshold of a histogram-trained model lies on the cut
+  grid, so ``value <= threshold`` routes identically for every value in
+  a bin and the raw score is a pure function of the bin ids.  Two
+  float-distinct rows that bin identically therefore *must* score
+  identically, and collapsing them into one cache entry is exact.
+  Without cuts the key falls back to the canonicalized float64 bytes of
+  the row (every ``NaN`` rewritten to the single canonical ``NaN``), so
+  only bit-equal rows collide — still exact, just fewer hits.
+* **Versioned.**  A cache serves exactly one model version at a time;
+  the first lookup after a hot-swap invalidates the whole store, so a
+  deploy can never leak stale scores (the scenario suite pins this).
+* **Bounded.**  ``capacity`` entries, least-recently-used eviction, and
+  a full hit/miss/insert/eviction/invalidation ledger in
+  :class:`CacheStats` — the scenario reports surface the hit rate and
+  the benches assert the exactness invariant.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.kernels import MISSING_BIN
+
+
+@dataclass
+class CacheStats:
+    """Running ledger of one :class:`PredictionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "inserts": self.inserts, "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PredictionCache:
+    """LRU map from a request row's key to its raw score vector.
+
+    ``capacity`` bounds the number of cached rows; ``cuts`` (optional)
+    enables quantized-bin-id keys — see the module docstring for why
+    that is exact.  The cache itself never runs a model: callers hand
+    :meth:`serve` a ``compute`` callback for the rows that miss.
+    """
+
+    def __init__(self, capacity: int,
+                 cuts: Optional[Sequence[np.ndarray]] = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.cuts = (None if cuts is None
+                     else [np.asarray(c, dtype=np.float64) for c in cuts])
+        if self.cuts is not None:
+            for f, c in enumerate(self.cuts):
+                if c.size > MISSING_BIN - 1:
+                    raise ValueError(
+                        f"feature {f} has {c.size + 1} bins; bin-id "
+                        f"keys support at most {MISSING_BIN} (bin "
+                        f"{MISSING_BIN} is the missing sentinel)"
+                    )
+        self._store: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._version: Optional[int] = None
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:
+        return (f"PredictionCache(capacity={self.capacity}, "
+                f"entries={len(self)}, version={self._version}, "
+                f"hit_rate={self.stats.hit_rate:.3f})")
+
+    @property
+    def version(self) -> Optional[int]:
+        """Model version the cached entries belong to."""
+        return self._version
+
+    # -- keys --------------------------------------------------------------
+
+    def key_batch(self, features: np.ndarray) -> List[bytes]:
+        """One hashable key per row of a dense float64 batch.
+
+        With cuts: the bytes of the row's uint8 bin-id vector (``NaN``
+        quantizes to the missing sentinel, columns beyond the cut grid
+        are all-sentinel).  Without cuts: the row's float64 bytes with
+        every ``NaN`` canonicalized, so bit-equal rows — and only those
+        — share a key.
+        """
+        if features.ndim != 2:
+            raise ValueError("cache keys need a 2-D dense batch")
+        if self.cuts is not None:
+            num, width = features.shape
+            binned = np.full((num, width), MISSING_BIN, dtype=np.uint8)
+            for f in range(min(width, len(self.cuts))):
+                col = features[:, f]
+                ok = ~np.isnan(col)
+                if ok.any():
+                    binned[ok, f] = np.searchsorted(self.cuts[f], col[ok])
+            return [row.tobytes() for row in binned]
+        canonical = np.ascontiguousarray(features, dtype=np.float64)
+        nan_mask = np.isnan(canonical)
+        if nan_mask.any():
+            canonical = canonical.copy()
+            canonical[nan_mask] = np.nan
+        return [row.tobytes() for row in canonical]
+
+    # -- the serve path ----------------------------------------------------
+
+    def serve(self, version: int, features: np.ndarray,
+              compute: Callable[[np.ndarray], np.ndarray]
+              ) -> Tuple[np.ndarray, int]:
+        """Scores for a batch, answering repeats from the cache.
+
+        Returns ``(scores, misses)`` where ``scores`` has one row per
+        input row (hit rows gathered from the store, miss rows freshly
+        computed via ``compute`` on exactly the missing subset and then
+        inserted) and ``misses`` is how many rows had to be computed —
+        what a deterministic service model should bill for.
+
+        The first call after a version change invalidates the store, so
+        entries never cross a hot-swap.
+        """
+        if version != self._version:
+            self.invalidate()
+            self._version = version
+        keys = self.key_batch(features)
+        hit_rows: List[Optional[np.ndarray]] = []
+        miss_idx: List[int] = []
+        for idx, key in enumerate(keys):
+            cached = self._store.get(key)
+            if cached is None:
+                hit_rows.append(None)
+                miss_idx.append(idx)
+            else:
+                self._store.move_to_end(key)
+                hit_rows.append(cached)
+        self.stats.hits += len(keys) - len(miss_idx)
+        self.stats.misses += len(miss_idx)
+        if miss_idx:
+            computed = np.asarray(
+                compute(features[np.asarray(miss_idx, dtype=np.int64)]))
+            dim = computed.shape[1]
+        else:
+            computed = None
+            dim = hit_rows[0].shape[0] if hit_rows else 0
+        scores = np.empty((len(keys), dim), dtype=np.float64)
+        for idx, row in enumerate(hit_rows):
+            if row is not None:
+                scores[idx] = row
+        for pos, idx in enumerate(miss_idx):
+            scores[idx] = computed[pos]
+            self._insert(keys[idx], computed[pos])
+        return scores, len(miss_idx)
+
+    def _insert(self, key: bytes, score_row: np.ndarray) -> None:
+        if key in self._store:
+            # a duplicate miss inside one batch: same key, same score —
+            # refresh recency, nothing new to store
+            self._store.move_to_end(key)
+            return
+        self._store[key] = np.array(score_row, dtype=np.float64)
+        self.stats.inserts += 1
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (counted once per non-empty flush)."""
+        if self._store:
+            self.stats.invalidations += 1
+            self._store.clear()

@@ -60,7 +60,8 @@ class ReplicaSet:
                  network: Optional[SimulatedNetwork] = None,
                  balancer: str = "round-robin",
                  service_model: Optional[Callable[[int], float]] = None,
-                 delta_deploys: bool = False) -> None:
+                 delta_deploys: bool = False,
+                 cache=None) -> None:
         if balancer not in _BALANCERS:
             raise ValueError(
                 f"unknown balancer {balancer!r}; choose from {_BALANCERS}"
@@ -71,6 +72,11 @@ class ReplicaSet:
         self.balancer = balancer
         self.service_model = service_model
         self.delta_deploys = delta_deploys
+        #: opt-in :class:`~repro.serve.cache.PredictionCache`; shared by
+        #: every replica (the fleet-wide score store a real deployment
+        #: would put in front of the workers), consulted per dispatch —
+        #: only the rows that miss are billed to the service model
+        self.cache = cache
         self.num_workers = self.cluster.num_workers
         self._free = np.zeros(self.num_workers)
         self._deployed: list = [None] * self.num_workers
@@ -175,10 +181,15 @@ class ReplicaSet:
                 "serving traffic"
             )
         began = time.perf_counter()
-        scores = entry.compiled.raw_scores(features)
+        if self.cache is None:
+            scores = entry.compiled.raw_scores(features)
+            billable = features.shape[0]
+        else:
+            scores, billable = self.cache.serve(
+                entry.version, features, entry.compiled.raw_scores)
         measured = time.perf_counter() - began
         baseline = (measured if self.service_model is None
-                    else float(self.service_model(features.shape[0])))
+                    else float(self.service_model(billable)))
         seconds = baseline / self.cluster.speed_of(worker)
         start = max(close_s, float(self._free[worker]))
         self._free[worker] = start + seconds

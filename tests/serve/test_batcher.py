@@ -300,6 +300,96 @@ class TestBoundedQueue:
         assert report.dropped == []
         assert report.latency_stats().drop_rate == 0.0
 
+    def test_nan_arrival_rejected_up_front(self):
+        # regression: NaN compares false against everything, so the
+        # diff-based monotonicity check alone let a NaN arrival
+        # through — it then walked straight into _run_bounded and
+        # produced nonsense (negative queue delays, a batcher that
+        # never dispatches).  The trace must refuse it at construction.
+        arrivals = np.array([0.0, np.nan, 0.002])
+        with pytest.raises(ValueError, match="finite"):
+            RequestTrace(features=np.zeros((3, 2)), arrivals=arrivals)
+        with pytest.raises(ValueError, match="finite"):
+            RequestTrace(features=np.zeros((2, 2)),
+                         arrivals=np.array([0.0, np.inf]))
+
+    def test_priority_shed_evicts_lowest_class_first(self, compiled):
+        # request 0 dispatches alone at 0.5ms and serves for 50ms;
+        # the queue then holds [1(pri 0), 2(pri 2)] when newcomer 3
+        # (pri 1) arrives — it must evict 1, the oldest of the lowest
+        # class, never the more important 2
+        trace = RequestTrace(
+            features=np.arange(8.0).reshape(4, 2),
+            arrivals=np.array([0.0, 0.001, 0.002, 0.003]),
+            priorities=np.array([0, 0, 2, 1], dtype=np.int32),
+        )
+        report = MicroBatcher(
+            server(compiled, per_batch=0.050),
+            BatchPolicy(2, max_delay_s=0.0005, max_queue=2,
+                        overload="shed-oldest"),
+        ).run(trace)
+        dropped = [(d.request_id, d.reason, d.priority)
+                   for d in report.dropped]
+        assert dropped == [(1, "shed-oldest", 0)]
+        assert sorted(r.request_id for r in report.records) == [0, 2, 3]
+
+    def test_priority_shed_refuses_lowly_newcomer(self, compiled):
+        # after 0 dispatches, the queue holds priorities [2, 1];
+        # newcomer 3 at priority 0 is below every queued class — it is
+        # rejected, nobody is evicted
+        trace = RequestTrace(
+            features=np.arange(8.0).reshape(4, 2),
+            arrivals=np.array([0.0, 0.001, 0.002, 0.003]),
+            priorities=np.array([0, 2, 1, 0], dtype=np.int32),
+        )
+        report = MicroBatcher(
+            server(compiled, per_batch=0.050),
+            BatchPolicy(2, max_delay_s=0.0005, max_queue=2,
+                        overload="shed-oldest"),
+        ).run(trace)
+        assert [(d.request_id, d.reason) for d in report.dropped] == \
+            [(3, "reject")]
+        assert sorted(r.request_id for r in report.records) == [0, 1, 2]
+
+    def test_unprioritized_shed_unchanged(self, compiled):
+        # without a priorities array the shed policy is plain
+        # drop-head — identical schedule to the pre-priority behavior
+        trace = trace_at([0.0, 0.001, 0.002, 0.003, 0.004])
+        report = MicroBatcher(
+            server(compiled, per_batch=0.010),
+            BatchPolicy(2, max_delay_s=0.0005, max_queue=2,
+                        overload="shed-oldest"),
+        ).run(trace)
+        assert [(d.request_id, d.tenant, d.priority)
+                for d in report.dropped] == [(1, 0, 0), (2, 0, 0)]
+
+    def test_tenant_attribution_on_drops(self, compiled):
+        trace = RequestTrace(
+            features=np.arange(8.0).reshape(4, 2),
+            arrivals=np.array([0.0, 0.001, 0.002, 0.003]),
+            tenants=np.array([3, 1, 4, 1], dtype=np.int32),
+            priorities=np.zeros(4, dtype=np.int32),
+        )
+        report = MicroBatcher(
+            server(compiled, per_batch=0.050),
+            BatchPolicy(2, max_delay_s=0.0005, max_queue=2,
+                        overload="reject"),
+        ).run(trace)
+        # request 0 dispatches alone; 1 and 2 fill the queue; 3 is the
+        # only arrival refused — attributed to its tenant
+        assert [(d.request_id, d.tenant) for d in report.dropped] == \
+            [(3, 1)]
+
+    def test_annotation_validation(self):
+        with pytest.raises(ValueError, match="one tenant entry"):
+            RequestTrace(features=np.zeros((2, 1)),
+                         arrivals=np.array([0.0, 1.0]),
+                         tenants=np.zeros(3, dtype=np.int32))
+        with pytest.raises(ValueError, match="integer"):
+            RequestTrace(features=np.zeros((2, 1)),
+                         arrivals=np.array([0.0, 1.0]),
+                         priorities=np.zeros(2))
+
 
 class TestModelServer:
     def test_rejects_unknown_model_type(self):
