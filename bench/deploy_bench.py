@@ -1,0 +1,183 @@
+"""Closed-loop deployment benchmark: the canary/rollback grid.
+
+Runs the full deployment controller over the {healthy, degraded} ×
+{serve, shadow} grid under the ``canary-under-fire`` scenario (flash
+crowd plus transport faults) and writes ``BENCH_deploy.json``: the
+verdict, the decision log, per-version drift-monitor windows, the
+observed canary split, and the deploy-plane wire bill for every cell,
+plus the conformance results the ``--check`` gate enforces:
+
+* **determinism** — every cell is run twice from its pinned seed (a
+  fresh controller each time: provisioning is part of the episode) and
+  the two ``deploy-report/v1`` encodings must be byte-identical;
+* **verdicts** — the degraded canary (sign-flipped leaves) must end in
+  ``rollback`` with zero requests served by the bad version after the
+  rollback decision, re-derived from the serving ledger alone; the
+  healthy canary (half-size retrain) must end in ``promote``;
+* **calibration** — the healthy canary's window logloss must sit well
+  inside the rollback margin while the degraded one exceeds it, so the
+  policy's thresholds separate the two cases with real headroom rather
+  than riding the edge;
+* **split** — the ledger-derived canary fraction must fall within
+  4-sigma binomial bounds of the routed fraction (and be exactly zero
+  in shadow mode);
+* **ledger invariants** — conservation, one version per request, no
+  canary traffic outside the canary window, straight from the report's
+  ``invariants`` block.
+
+Usage::
+
+    PYTHONPATH=src python bench/deploy_bench.py            # full grid
+    PYTHONPATH=src python bench/deploy_bench.py --quick    # CI-sized
+    PYTHONPATH=src python bench/deploy_bench.py --check    # enforce
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.ledger import report_bytes
+from repro.serve.deploy import (CanaryPolicy, DeployController,
+                                RollbackPolicy, audit_deploy)
+from repro.serve.scenarios import get_scenario
+
+SCENARIO = "canary-under-fire"
+QUICK_SCALE = 0.25
+
+#: the grid: candidate quality x routing mode
+CELLS = [
+    ("healthy", False),
+    ("healthy", True),
+    ("degraded", False),
+    ("degraded", True),
+]
+
+EXPECTED_VERDICT = {"healthy": "promote", "degraded": "rollback"}
+
+
+def run_cell(canary_model: str, shadow: bool, scale: float) -> dict:
+    scenario = get_scenario(SCENARIO, scale=scale)
+    policy = CanaryPolicy(shadow=shadow)
+
+    first = DeployController(scenario, canary=policy,
+                             canary_model=canary_model)
+    report = first.run()
+    replay = DeployController(scenario, canary=policy,
+                              canary_model=canary_model).run()
+    deterministic = report_bytes(report) == report_bytes(replay)
+
+    # the no-traffic-after-rollback check, from the raw ledger
+    audit = audit_deploy(first.serving_report, report["decisions"],
+                         1, 2, shadow=shadow)
+
+    split = report["split"]
+    split_ok = True
+    if shadow:
+        split_ok = split["canary_batches"] == 0
+    elif split["window_batches"] > 0:
+        n, p = split["window_batches"], split["target_fraction"]
+        sigma = (p * (1 - p) / n) ** 0.5
+        split_ok = abs(split["observed_fraction"] - p) \
+            <= 4 * sigma + 1e-9
+
+    monitor = report["monitor"]
+    mode = "shadow" if shadow else "serve"
+    print(f"  {canary_model:9s} {mode:6s} verdict={report['verdict']:9s}"
+          f" canary_ll={monitor['2']['logloss']:.4f}"
+          f" incumbent_ll={monitor['1']['logloss']:.4f}"
+          f" split={split['observed_fraction']:5.1%}"
+          f" det={deterministic}")
+    return {
+        "scenario": SCENARIO,
+        "seed": report["seed"],
+        "canary_model": canary_model,
+        "mode": mode,
+        "verdict": report["verdict"],
+        "decisions": report["decisions"],
+        "monitor": monitor,
+        "split": split,
+        "serving": report["serving"],
+        "wire": report["wire"],
+        "invariants": report["invariants"],
+        "audit": {k: v for k, v in audit.items() if k != "split"},
+        "deterministic": deterministic,
+        "split_ok": split_ok,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized workload (scaled-down window)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on any conformance failure")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_deploy.json")
+    args = parser.parse_args()
+
+    mode = "quick" if args.quick else "full"
+    scale = QUICK_SCALE if args.quick else 1.0
+    print(f"deploy bench ({mode} workload, scale={scale})")
+    grid = {
+        f"{model}-{'shadow' if shadow else 'serve'}":
+            run_cell(model, shadow, scale)
+        for model, shadow in CELLS
+    }
+
+    report = {
+        "generated_by": "bench/deploy_bench.py",
+        "mode": mode,
+        "scale": scale,
+        "numpy": np.__version__,
+        "cells": grid,
+    }
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True)
+                        + "\n")
+    print(f"wrote {args.out}")
+
+    ok = True
+    for name, cell in grid.items():
+        want = EXPECTED_VERDICT[cell["canary_model"]]
+        if cell["verdict"] != want:
+            ok = False
+            print(f"MISSED: {name} ended {cell['verdict']!r}, "
+                  f"expected {want!r}")
+        if not cell["deterministic"]:
+            ok = False
+            print(f"MISSED: {name} replay is not byte-identical")
+        if not cell["split_ok"]:
+            ok = False
+            print(f"MISSED: {name} split outside binomial bounds")
+        for source in ("invariants", "audit"):
+            for invariant, held in cell[source].items():
+                if not held:
+                    ok = False
+                    print(f"MISSED: {name} violated {invariant}")
+    # calibration headroom: the margin must separate the two candidates
+    # decisively, not by luck
+    margin = RollbackPolicy().logloss_margin
+    for shadow in ("serve", "shadow"):
+        good = grid[f"healthy-{shadow}"]["monitor"]
+        bad = grid[f"degraded-{shadow}"]["monitor"]
+        gap_good = good["2"]["logloss"] - good["1"]["logloss"]
+        gap_bad = bad["2"]["logloss"] - bad["1"]["logloss"]
+        if gap_good > margin / 2:
+            ok = False
+            print(f"MISSED: healthy-{shadow} logloss gap {gap_good:.3f} "
+                  "rides the rollback margin")
+        if gap_bad < margin * 1.25:
+            ok = False
+            print(f"MISSED: degraded-{shadow} logloss gap {gap_bad:.3f} "
+                  "barely clears the rollback margin")
+    if ok:
+        print("all deployment conformance targets met")
+    return 0 if (ok or not args.check) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,10 @@ Five subcommands cover the everyday workflows:
   (diurnal, flash-crowd, heavy-tail multi-tenant, hot-swap-under-fire):
   replays the full serving stack on the simulated clock and prints the
   per-tenant SLO/latency/drop table from the ``scenario-report/v1``;
+* ``repro deploy``  — run a closed-loop canary deployment episode:
+  incumbent rollout, canary slice (or shadow scoring), delayed-label
+  drift monitoring, auto-rollback + retrain or promotion, with the
+  full decision log printed from the ``deploy-report/v1``;
 * ``repro doctor``  — report detected kernel backends (numba/LLVM
   versions) and run a per-backend bit-identity self-check; exits
   nonzero on a backend that imports but miscompares.
@@ -219,6 +223,40 @@ def build_parser() -> argparse.ArgumentParser:
     scen_report.add_argument("report",
                              help="scenario-report/v1 JSON from "
                                   "`repro scenarios run --report-out`")
+
+    deploy = sub.add_parser(
+        "deploy",
+        help="run a closed-loop canary deployment episode",
+    )
+    deploy.add_argument("--scenario", default="canary-under-fire",
+                        help="traffic scenario to deploy under "
+                             "(default: canary-under-fire)")
+    deploy.add_argument("--canary", choices=("healthy", "degraded"),
+                        default="degraded",
+                        help="candidate model: a half-size retrain "
+                             "('healthy', should promote) or a "
+                             "sign-flipped incumbent ('degraded', "
+                             "must roll back)")
+    deploy.add_argument("--fraction", type=float, default=0.25,
+                        help="fraction of batches routed to the canary "
+                             "slice (ignored with --shadow)")
+    deploy.add_argument("--canary-workers", type=int, default=1,
+                        help="workers in the canary slice")
+    deploy.add_argument("--shadow", action="store_true",
+                        help="shadow mode: the canary scores every "
+                             "batch off the serving path; the "
+                             "incumbent serves everything")
+    deploy.add_argument("--scale", type=float, default=1.0,
+                        help="time-scale factor for the scenario")
+    deploy.add_argument("--smoke", action="store_true",
+                        help="CI run: both canary models at "
+                             "--scale 0.25; verdicts and invariants "
+                             "enforced")
+    deploy.add_argument("--report-out",
+                        help="save the deploy-report/v1 JSON here")
+    deploy.add_argument("--show", metavar="REPORT",
+                        help="pretty-print a saved deploy report "
+                             "instead of running an episode")
 
     doctor = sub.add_parser(
         "doctor",
@@ -705,6 +743,55 @@ def cmd_scenarios(args) -> int:
     return 0
 
 
+def cmd_deploy(args) -> int:
+    """``repro deploy`` — one closed-loop canary deployment episode."""
+    from .ledger import (format_deploy_report, load_deploy_report,
+                         save_deploy_report)
+    from .serve.deploy import CanaryPolicy, DeployController
+    from .serve.scenarios import get_scenario
+
+    if args.show:
+        print(format_deploy_report(load_deploy_report(args.show)))
+        return 0
+
+    if args.smoke:
+        # CI mode: the sign-flipped canary must be condemned, the
+        # retrain must be cleared, and every ledger invariant must hold
+        # under both verdicts.
+        expected = {"degraded": "rollback", "healthy": "promote"}
+        failed = False
+        for model, want in expected.items():
+            scenario = get_scenario(args.scenario, scale=0.25)
+            report = DeployController(scenario,
+                                      canary_model=model).run()
+            print(format_deploy_report(report))
+            print()
+            if report["verdict"] != want:
+                print(f"FAIL: {model} canary ended "
+                      f"{report['verdict']!r}, expected {want!r}")
+                failed = True
+            if not all(report["invariants"].values()):
+                print(f"FAIL: {model} episode violated a ledger "
+                      "invariant (see above)")
+                failed = True
+        return 1 if failed else 0
+
+    scenario = get_scenario(args.scenario, scale=args.scale)
+    policy = CanaryPolicy(fraction=args.fraction,
+                          canary_workers=args.canary_workers,
+                          shadow=args.shadow)
+    report = DeployController(scenario, canary=policy,
+                              canary_model=args.canary).run()
+    print(format_deploy_report(report))
+    if args.report_out:
+        save_deploy_report(report, args.report_out)
+    if not all(report["invariants"].values()):
+        print("FAIL: the episode violated a ledger invariant "
+              "(see above)")
+        return 1
+    return 0
+
+
 def cmd_doctor(args) -> int:
     """Backend detection report plus the bit-identity battery.
 
@@ -752,6 +839,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "advise": cmd_advise,
         "ledger": cmd_ledger,
         "scenarios": cmd_scenarios,
+        "deploy": cmd_deploy,
         "doctor": cmd_doctor,
     }
     return handlers[args.command](args)

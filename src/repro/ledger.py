@@ -15,10 +15,15 @@ import dataclasses
 import json
 from typing import Dict, List
 
+import numpy as np
+
 SCHEMA = "repro-run-report/v1"
 
 #: schema tag of serving-scenario reports (``repro scenarios``)
 SCENARIO_SCHEMA = "scenario-report/v1"
+
+#: schema tag of deployment decision logs (``repro deploy``)
+DEPLOY_SCHEMA = "deploy-report/v1"
 
 #: prefixes that carve the ledger into reporting dimensions, in display
 #: order; kinds matching none of these are base training traffic
@@ -86,14 +91,41 @@ def load_report(path: str) -> dict:
     return report
 
 
-def scenario_report_bytes(report: dict) -> bytes:
-    """The canonical byte encoding of a scenario report.
+def percentile_summary(values) -> Dict[str, float]:
+    """p50/p95/p99/mean/max of a latency sample, in seconds.
+
+    The one shared definition of a latency percentile: ``batcher``'s
+    :class:`LatencyStats`, the per-tenant scenario tables and the deploy
+    reports all call this, so "p99" means the same thing everywhere
+    (``np.percentile`` linear interpolation, zeros for empty samples).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return {"p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0,
+                "mean_s": 0.0, "max_s": 0.0}
+    p50, p95, p99 = np.percentile(values, [50.0, 95.0, 99.0])
+    return {
+        "p50_s": float(p50),
+        "p95_s": float(p95),
+        "p99_s": float(p99),
+        "mean_s": float(values.mean()),
+        "max_s": float(values.max()),
+    }
+
+
+def report_bytes(report: dict) -> bytes:
+    """The canonical byte encoding of any report dict.
 
     Sorted keys, two-space indent, trailing newline — the exact bytes
-    :func:`save_scenario_report` writes and the determinism conformance
-    tests compare, so "byte-identical reports" means what it says.
+    the save functions write and the determinism conformance tests
+    compare, so "byte-identical reports" means what it says.
     """
     return (json.dumps(report, indent=2, sort_keys=True) + "\n").encode()
+
+
+def scenario_report_bytes(report: dict) -> bytes:
+    """The canonical byte encoding of a scenario report."""
+    return report_bytes(report)
 
 
 def save_scenario_report(report: dict, path: str) -> None:
@@ -173,6 +205,96 @@ def format_scenario_report(report: dict) -> str:
         )
     lines.append(
         f"  versions served: {report['versions_served']}   invariants: "
+        + ", ".join(f"{k}={'ok' if v else 'VIOLATED'}"
+                    for k, v in sorted(report["invariants"].items()))
+    )
+    return "\n".join(lines)
+
+
+def save_deploy_report(report: dict, path: str) -> None:
+    if report.get("schema") != DEPLOY_SCHEMA:
+        raise ValueError(
+            f"not a deploy report (schema {report.get('schema')!r}, "
+            f"expected {DEPLOY_SCHEMA!r})"
+        )
+    with open(path, "wb") as fh:
+        fh.write(report_bytes(report))
+
+
+def load_deploy_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    schema = report.get("schema")
+    if schema != DEPLOY_SCHEMA:
+        raise ValueError(
+            f"{path} is not a deploy report (schema {schema!r}, "
+            f"expected {DEPLOY_SCHEMA!r})"
+        )
+    return report
+
+
+def _fmt_metric(value) -> str:
+    return "n/a" if value is None else f"{value:.4f}"
+
+
+def format_deploy_report(report: dict) -> str:
+    """Human-readable rendering of a ``deploy-report/v1``."""
+    lines: List[str] = []
+    versions = report["versions"]
+    lines.append(
+        f"deploy report — {report['scenario']} (seed {report['seed']}, "
+        f"{report['canary_model']} canary, "
+        f"{'shadow' if report['mode'] == 'shadow' else 'serve'} mode)"
+    )
+    lines.append(
+        f"  verdict: {report['verdict']}   incumbent v"
+        f"{versions['incumbent']}   canary v{versions['canary']}"
+        + (f"   retrained v{versions['retrained']}"
+           if versions.get("retrained") is not None else "")
+    )
+    lines.append("")
+    lines.append("  decision log")
+    for d in report["decisions"]:
+        lines.append(
+            f"    t={d['at_s']:8.4f}s  batch {d['batch_seq']:>5}  "
+            f"{d['kind']:<12} v{d['version']}  "
+            f"{_fmt_bytes(d['wire_bytes']):>10}  {d['reason']}"
+        )
+    lines.append("")
+    lines.append("  drift monitor (rolling window)")
+    for version, m in sorted(report["monitor"].items(),
+                             key=lambda kv: int(kv[0])):
+        lines.append(
+            f"    v{version}: {m['labels']:>6,} labels  "
+            f"logloss {_fmt_metric(m['logloss'])}  "
+            f"auc {_fmt_metric(m['auc'])}"
+        )
+    split = report["split"]
+    lines.append("")
+    lines.append(
+        f"  split: target {split['target_fraction']:.1%}   observed "
+        f"{split['observed_fraction']:.1%} ({split['canary_batches']} "
+        f"canary of {split['window_batches']} batches in window)"
+    )
+    serving = report["serving"]
+    lines.append(
+        f"  serving: {serving['arrivals']:,} arrivals   "
+        f"{serving['served']:,} served   {serving['dropped']:,} dropped"
+        f"   p50 {serving['p50_s'] * 1e3:.2f} ms   "
+        f"p99 {serving['p99_s'] * 1e3:.2f} ms over "
+        f"{serving['makespan_s']:.3f} s"
+    )
+    wire = report["wire"]
+    deploy_kinds = sorted(k for k in wire["bytes_by_kind"]
+                          if k.startswith("deploy:"))
+    parts = [f"{kind} {_fmt_bytes(wire['bytes_by_kind'][kind])}"
+             for kind in deploy_kinds]
+    lines.append(
+        f"  wire: {'   '.join(parts)}   retries "
+        f"{_fmt_bytes(wire['retry_bytes'])}"
+    )
+    lines.append(
+        "  invariants: "
         + ", ".join(f"{k}={'ok' if v else 'VIOLATED'}"
                     for k, v in sorted(report["invariants"].items()))
     )

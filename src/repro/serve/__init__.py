@@ -24,7 +24,14 @@ package turns them into production-shaped inference:
   (diurnal curves, flash crowds, heavy-tailed multi-tenant fleets with
   latency SLOs and admission priorities) and the
   :class:`ScenarioRunner` conformance harness emitting byte-identical
-  ``scenario-report/v1`` JSON.
+  ``scenario-report/v1`` JSON;
+- :mod:`~repro.serve.deploy` — closed-loop deployment: a
+  :class:`DeployController` runs canary routing (or shadow scoring)
+  through a :class:`CanaryRouter`, feeds delayed labels to per-version
+  :class:`DriftMonitor` windows, auto-rolls-back and retrains when the
+  canary degrades beyond the :class:`RollbackPolicy` margins, and emits
+  a byte-deterministic ``deploy-report/v1`` decision log whose verdict
+  :func:`audit_deploy` re-derives from the serving ledger alone.
 """
 
 from .batcher import (BatchPolicy, BatchRecord, DispatchResult,
@@ -34,21 +41,33 @@ from .batcher import (BatchPolicy, BatchRecord, DispatchResult,
 from .cache import CacheStats, PredictionCache
 from .compiler import (CompiledEnsemble, QuantizedEnsemble,
                        compile_ensemble, quantize_ensemble)
+from .deploy import (CANARY_KIND, DECISION_KIND, ROLLBACK_KIND,
+                     CanaryPolicy, CanaryRouter, DeployController,
+                     DeployDecision, DriftMonitor, RollbackPolicy,
+                     audit_deploy, run_deploy)
 from .registry import ModelRegistry, ModelVersion
 from .replica import DEPLOY_KIND, ReplicaSet
-from .scenarios import (SCENARIO_SCHEMA, SCENARIOS, LoadShape, Scenario,
-                        ScenarioRunner, TenantSpec,
+from .scenarios import (SCENARIO_SCHEMA, SCENARIOS, LabelStream,
+                        LoadShape, Scenario, ScenarioRunner, TenantSpec,
                         audit_priority_admission, build_trace,
-                        get_scenario, run_scenario)
+                        emit_labels, get_scenario, run_scenario)
 
 __all__ = [
     "BatchPolicy",
     "BatchRecord",
+    "CANARY_KIND",
     "CacheStats",
+    "CanaryPolicy",
+    "CanaryRouter",
     "CompiledEnsemble",
+    "DECISION_KIND",
     "DEPLOY_KIND",
+    "DeployController",
+    "DeployDecision",
     "DispatchResult",
+    "DriftMonitor",
     "DropRecord",
+    "LabelStream",
     "LatencyStats",
     "LoadShape",
     "MicroBatcher",
@@ -57,20 +76,25 @@ __all__ = [
     "ModelVersion",
     "PredictionCache",
     "QuantizedEnsemble",
+    "ROLLBACK_KIND",
     "ReplicaSet",
     "RequestRecord",
     "RequestTrace",
+    "RollbackPolicy",
     "SCENARIOS",
     "SCENARIO_SCHEMA",
     "Scenario",
     "ScenarioRunner",
     "ServingReport",
     "TenantSpec",
+    "audit_deploy",
     "audit_priority_admission",
     "build_trace",
     "compile_ensemble",
+    "emit_labels",
     "get_scenario",
     "quantize_ensemble",
+    "run_deploy",
     "run_scenario",
     "synthetic_trace",
 ]

@@ -28,6 +28,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..ledger import percentile_summary
 from .compiler import CompiledEnsemble
 from .registry import ModelRegistry
 
@@ -288,12 +289,13 @@ class LatencyStats:
                        dropped=dropped)
         lat = np.array([r.latency_s for r in records])
         queue = np.array([r.queue_s for r in records])
-        p50, p95, p99 = np.percentile(lat, [50.0, 95.0, 99.0])
+        summary = percentile_summary(lat)
         makespan = max(r.completion_s for r in records)
         return cls(
             count=len(records),
-            p50_s=float(p50), p95_s=float(p95), p99_s=float(p99),
-            mean_s=float(lat.mean()), max_s=float(lat.max()),
+            p50_s=summary["p50_s"], p95_s=summary["p95_s"],
+            p99_s=summary["p99_s"],
+            mean_s=summary["mean_s"], max_s=summary["max_s"],
             mean_queue_s=float(queue.mean()),
             throughput_rps=len(records) / makespan if makespan > 0
             else float("inf"),
@@ -406,13 +408,23 @@ class MicroBatcher:
     simulated start for the next batch — used to keep collecting arrivals
     while all capacity is busy) and ``dispatch(features, close_s)``
     returning a :class:`DispatchResult`.  Both :class:`ModelServer` and
-    :class:`~repro.serve.replica.ReplicaSet` satisfy it.
+    :class:`~repro.serve.replica.ReplicaSet` satisfy it.  A backend that
+    sets ``accepts_ids = True`` is additionally passed the request ids of
+    each batch as ``dispatch(..., ids=...)`` — the deployment router uses
+    them to join served scores with their delayed labels.
     """
 
     def __init__(self, backend, policy: Optional[BatchPolicy] = None
                  ) -> None:
         self.backend = backend
         self.policy = policy or BatchPolicy()
+        self._pass_ids = bool(getattr(backend, "accepts_ids", False))
+
+    def _dispatch(self, features: np.ndarray, close_s: float,
+                  ids: np.ndarray) -> DispatchResult:
+        if self._pass_ids:
+            return self.backend.dispatch(features, close_s, ids=ids)
+        return self.backend.dispatch(features, close_s)
 
     def run(self, trace: RequestTrace,
             swaps: Sequence[SwapEvent] = (),
@@ -461,8 +473,9 @@ class MicroBatcher:
                 when, action = pending_swaps[swap_i]
                 action(when)
                 swap_i += 1
-            result = self.backend.dispatch(
-                trace.features[i:i + size], float(close)
+            result = self._dispatch(
+                trace.features[i:i + size], float(close),
+                np.arange(i, i + size, dtype=np.int64),
             )
             batch_id = len(report.batches)
             report.batches.append(BatchRecord(
@@ -598,8 +611,9 @@ class MicroBatcher:
                 when, action = pending_swaps[swap_i]
                 action(when)
                 swap_i += 1
-            result = self.backend.dispatch(
-                trace.features[batch_ids], float(close)
+            result = self._dispatch(
+                trace.features[batch_ids], float(close),
+                np.asarray(batch_ids, dtype=np.int64),
             )
             batch_id = len(report.batches)
             report.batches.append(BatchRecord(

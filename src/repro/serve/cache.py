@@ -204,3 +204,17 @@ class PredictionCache:
         if self._store:
             self.stats.invalidations += 1
             self._store.clear()
+
+    def on_version_change(self, version: Optional[int]) -> None:
+        """Eager invalidation hook for registry activation changes.
+
+        :meth:`ModelRegistry.attach_cache
+        <repro.serve.registry.ModelRegistry.attach_cache>` calls this on
+        every active-pointer flip — hot-swap, promote, *and* rollback —
+        so entries scored by an abandoned version are flushed at the
+        decision instant.  The lazy check in :meth:`serve` still guards
+        caches that were never attached.
+        """
+        if version != self._version:
+            self.invalidate()
+            self._version = version

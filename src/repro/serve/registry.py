@@ -16,6 +16,16 @@ one version, which is the hot-swap invariant the serving tests pin.
 :meth:`~ModelRegistry.rollback` re-activates the previously active
 version (the activation history is kept, so repeated rollbacks walk
 backwards).
+
+Deployment staging layers on top of the active pointer: a published
+version can be staged as a *canary* (:meth:`~ModelRegistry.stage_canary`),
+then either promoted to active (:meth:`~ModelRegistry.promote`) or
+retired (:meth:`~ModelRegistry.roll_back`) when the drift monitor
+condemns it.  A retired version can never be re-staged — a bad model
+stays rolled back.  Attached prediction caches are notified eagerly on
+*every* active-version change (hot-swap, promote, rollback), so stale
+entries are flushed at the decision instant rather than at the next
+lookup.
 """
 
 from __future__ import annotations
@@ -63,6 +73,11 @@ class ModelRegistry:
         self._active: Optional[ModelVersion] = None
         self._activation_log: List[int] = []
         self._next_version = 1
+        #: explicit stage overrides ("canary"/"retired"); anything else
+        #: derives from the active pointer ("active" or "published")
+        self._stages: Dict[int, str] = {}
+        self._stage_log: List[tuple] = []
+        self._caches: List = []
 
     # -- publishing --------------------------------------------------------
 
@@ -139,6 +154,7 @@ class ModelRegistry:
         entry = self.get(version)
         self._active = entry
         self._activation_log.append(entry.version)
+        self._notify_caches()
         return entry
 
     def rollback(self) -> ModelVersion:
@@ -146,14 +162,117 @@ class ModelRegistry:
 
         Walks the activation history: the current activation is popped,
         so consecutive rollbacks step further back.  Refuses when there
-        is no earlier activation to return to.
+        is no earlier activation to return to.  Attached caches are
+        invalidated eagerly — a rollback is a version change exactly
+        like a hot-swap, so entries scored by the abandoned version must
+        not survive it.
         """
         if len(self._activation_log) < 2:
             raise LookupError("no previous activation to roll back to")
         self._activation_log.pop()
         entry = self.get(self._activation_log[-1])
         self._active = entry
+        self._notify_caches()
         return entry
+
+    # -- deployment stages -------------------------------------------------
+
+    def stage_of(self, version: int) -> str:
+        """Deployment stage of a published version: ``"published"``,
+        ``"canary"``, ``"active"``, or ``"retired"``."""
+        self.get(version)
+        if self._active is not None and version == self._active.version:
+            return "active"
+        return self._stages.get(version, "published")
+
+    def stages(self) -> Dict[int, str]:
+        """Stage of every published version, keyed by version id."""
+        return {v: self.stage_of(v) for v in sorted(self._versions)}
+
+    @property
+    def stage_log(self) -> List[tuple]:
+        """``(version, stage)`` transitions in decision order."""
+        return list(self._stage_log)
+
+    def stage_canary(self, version: int) -> ModelVersion:
+        """Stage ``version`` as the canary candidate.
+
+        A canary is published-but-probationary: a deployment controller
+        routes a slice of traffic (or shadow traffic) to it while the
+        drift monitor accumulates evidence.  Refuses the active version
+        (nothing to canary against) and any retired version — a model
+        that was rolled back once stays rolled back.
+        """
+        entry = self.get(version)
+        stage = self.stage_of(version)
+        if stage == "retired":
+            raise ValueError(
+                f"version {version} was rolled back; refusing to "
+                "re-stage a retired model as a canary"
+            )
+        if stage == "active":
+            raise ValueError(
+                f"version {version} is already active; a canary must "
+                "be a non-active version"
+            )
+        self._stages[version] = "canary"
+        self._stage_log.append((version, "canary"))
+        return entry
+
+    def promote(self, version: int) -> ModelVersion:
+        """Promote a staged canary to the active version.
+
+        The flip itself is :meth:`activate` (atomic, logged, caches
+        notified); promotion additionally requires that the version went
+        through the canary stage — the deployment controller's verdict
+        path is the only road to production.
+        """
+        if self.stage_of(version) != "canary":
+            raise ValueError(
+                f"version {version} is {self.stage_of(version)!r}; "
+                "only a staged canary can be promoted"
+            )
+        self._stages.pop(version, None)
+        self._stage_log.append((version, "active"))
+        return self.activate(version)
+
+    def roll_back(self, version: int) -> ModelVersion:
+        """Retire a condemned version; returns the version left active.
+
+        If ``version`` is the active model, the previous activation is
+        restored (exactly :meth:`rollback`).  If it is a staged canary,
+        it is retired in place and the incumbent keeps serving.  Either
+        way the version is marked ``"retired"`` (it can never be staged
+        again) and attached caches are invalidated eagerly, so entries
+        scored by the condemned version are flushed at the decision
+        instant.
+        """
+        stage = self.stage_of(version)
+        self._stages[version] = "retired"
+        self._stage_log.append((version, "retired"))
+        if stage == "active":
+            return self.rollback()
+        self._notify_caches()
+        return self.active
+
+    # -- cache attachment --------------------------------------------------
+
+    def attach_cache(self, cache) -> None:
+        """Register a prediction cache for eager invalidation.
+
+        The cache's ``on_version_change(active_version)`` hook fires on
+        every activation change — hot-swap, promote, rollback — closing
+        the gap where a lazily-invalidated cache could hand out scores
+        from an already-abandoned version between the registry decision
+        and the next serve call.
+        """
+        if cache not in self._caches:
+            self._caches.append(cache)
+
+    def _notify_caches(self) -> None:
+        version = self._active.version if self._active else None
+        for cache in self._caches:
+            cache.on_version_change(version)
 
     # -- introspection -----------------------------------------------------
 

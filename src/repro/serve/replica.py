@@ -22,12 +22,21 @@ Workers serve whatever model version was last *deployed to them* — a
 registry ``activate`` alone changes nothing on the replicas until a
 :meth:`ReplicaSet.deploy` ships it, which is how real fleets behave and
 what makes the hot-swap byte accounting honest.
+
+Deployments can target a *subset* of workers (``deploy(workers=...)``)
+under a caller-chosen ledger kind (``deploy:canary``,
+``deploy:rollback``), which is what a canary rollout is: the fleet holds
+two versions at once, partitioned by worker, and the dispatch path takes
+an optional worker *pool* so a router can pin each batch to one side of
+the partition.  The mixed-version invariant holds by construction — a
+batch lands on exactly one worker and a worker holds exactly one version,
+so every request is served by exactly one version, whatever the mix.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -81,12 +90,17 @@ class ReplicaSet:
         self._free = np.zeros(self.num_workers)
         self._deployed: list = [None] * self.num_workers
         self._rr_next = 0
+        #: independent round-robin cursor per worker pool, so canary
+        #: and incumbent pools cycle fairly regardless of the split
+        self._rr_cursors: Dict[Tuple[int, ...], int] = {}
 
     # -- model distribution ------------------------------------------------
 
     def deploy(self, version: Union[int, ModelVersion, None] = None,
-               at_s: float = 0.0) -> ModelVersion:
-        """Ship a model version to every worker.
+               at_s: float = 0.0,
+               workers: Optional[Sequence[int]] = None,
+               kind: str = DEPLOY_KIND) -> ModelVersion:
+        """Ship a model version to every worker (or a targeted subset).
 
         ``version`` may be a version id, a :class:`ModelVersion`, or
         ``None`` for the registry's active version.  Each worker receives
@@ -94,6 +108,12 @@ class ReplicaSet:
         transfer; the worker is busy installing for the transfer's
         duration, so in-flight traffic queues behind the rollout rather
         than racing it.
+
+        ``workers`` restricts the rollout to a subset of worker ids —
+        how a canary lands on its slice of the fleet — and ``kind``
+        labels the traffic in the wire ledger (``deploy:canary`` and
+        ``deploy:rollback`` keep canary and rollback bytes separable
+        from steady-state rollouts).
 
         With ``delta_deploys`` enabled, a worker that already holds
         another version receives only the tree-suffix delta against it
@@ -111,8 +131,10 @@ class ReplicaSet:
             entry = version
         else:
             entry = self.registry.get(int(version))
+        targets = (range(self.num_workers) if workers is None
+                   else self._check_pool(workers))
         delta_nbytes: dict = {}   # predecessor version -> delta wire size
-        for worker in range(self.num_workers):
+        for worker in targets:
             wire = entry.nbytes
             prev = self._deployed[worker]
             if (self.delta_deploys and prev is not None
@@ -123,11 +145,22 @@ class ReplicaSet:
                         prev, entry)
                 wire = min(delta_nbytes[prev.version] or wire,
                            entry.nbytes)
-            seconds = self.network.transfer(DEPLOY_KIND, wire,
+            seconds = self.network.transfer(kind, wire,
                                             raw_nbytes=entry.nbytes)
             self._free[worker] = max(self._free[worker], at_s) + seconds
             self._deployed[worker] = entry
         return entry
+
+    def _check_pool(self, pool: Sequence[int]) -> Sequence[int]:
+        if len(pool) == 0:
+            raise ValueError("worker pool must not be empty")
+        for worker in pool:
+            if not (0 <= worker < self.num_workers):
+                raise ValueError(
+                    f"worker {worker} out of range "
+                    f"(fleet has {self.num_workers} workers)"
+                )
+        return pool
 
     @staticmethod
     def _delta_bytes(prev: ModelVersion,
@@ -158,22 +191,58 @@ class ReplicaSet:
         return [None if entry is None else entry.version
                 for entry in self._deployed]
 
+    def workers_serving(self, version: int) -> list:
+        """Worker ids currently holding ``version``."""
+        return [w for w, entry in enumerate(self._deployed)
+                if entry is not None and entry.version == version]
+
     # -- MicroBatcher backend contract -------------------------------------
 
-    def _pick_worker(self) -> int:
+    def _pick_worker(self, pool: Optional[Sequence[int]] = None) -> int:
+        if pool is None:
+            if self.balancer == "round-robin":
+                return self._rr_next
+            return int(np.argmin(self._free))   # ties -> lowest id
+        pool = self._check_pool(pool)
         if self.balancer == "round-robin":
-            return self._rr_next
-        return int(np.argmin(self._free))   # ties -> lowest id
+            cursor = self._rr_cursors.get(tuple(pool), 0)
+            return int(pool[cursor % len(pool)])
+        free = self._free[np.asarray(pool, dtype=np.int64)]
+        return int(pool[int(np.argmin(free))])
 
-    def next_free_s(self) -> float:
+    def next_free_s(self, pool: Optional[Sequence[int]] = None) -> float:
         """Free time of the worker the *next* batch will land on."""
-        return float(self._free[self._pick_worker()])
+        return float(self._free[self._pick_worker(pool)])
 
-    def dispatch(self, features: np.ndarray,
-                 close_s: float) -> DispatchResult:
-        worker = self._pick_worker()
+    def occupy(self, pool: Sequence[int], at_s: float,
+               baseline_seconds: float) -> Tuple[int, float, float]:
+        """Bill ``baseline_seconds`` of compute to the least-loaded
+        worker of ``pool`` without serving traffic from it.
+
+        Shadow scoring uses this: the canary workers score every batch
+        for the monitor, so their clocks must advance exactly as if they
+        served it — the shadow's cost is real in the ledger even though
+        its answers never reach a client.  Returns ``(worker, start_s,
+        completion_s)``.
+        """
+        pool = self._check_pool(pool)
+        free = self._free[np.asarray(pool, dtype=np.int64)]
+        worker = int(pool[int(np.argmin(free))])
+        seconds = baseline_seconds / self.cluster.speed_of(worker)
+        start = max(at_s, float(self._free[worker]))
+        self._free[worker] = start + seconds
+        return worker, start, start + seconds
+
+    def dispatch(self, features: np.ndarray, close_s: float,
+                 pool: Optional[Sequence[int]] = None) -> DispatchResult:
+        worker = self._pick_worker(pool)
         if self.balancer == "round-robin":
-            self._rr_next = (self._rr_next + 1) % self.num_workers
+            if pool is None:
+                self._rr_next = (self._rr_next + 1) % self.num_workers
+            else:
+                key = tuple(pool)
+                self._rr_cursors[key] = (self._rr_cursors.get(key, 0)
+                                         + 1) % len(pool)
         entry = self._deployed[worker]
         if entry is None:
             raise RuntimeError(

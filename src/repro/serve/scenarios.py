@@ -49,6 +49,7 @@ import numpy as np
 from ..config import ClusterConfig, NetworkModel, TrainConfig
 from ..cluster.faults import FaultInjector, FaultPlan
 from ..cluster.network import SimulatedNetwork
+from ..ledger import percentile_summary
 from .batcher import BatchPolicy, MicroBatcher, RequestTrace, ServingReport
 from .cache import PredictionCache
 from .registry import ModelRegistry
@@ -197,6 +198,11 @@ class Scenario:
     service_per_row_s: float = 0.00005
     cache_capacity: int = 0
     hot_swap_at_s: float = -1.0
+    #: mean delay (simulated seconds) between a request being served and
+    #: its binary outcome label becoming available; 0 disables label
+    #: emission (the deployment scenarios set it — delayed labels are
+    #: what feeds the drift monitor)
+    label_delay_s: float = 0.0
     faults: str = ""
     model_trees: int = 4
     model_layers: int = 4
@@ -213,6 +219,9 @@ class Scenario:
         names = [t.name for t in self.tenants]
         if len(set(names)) != len(names):
             raise ValueError(f"tenant names must be unique, got {names}")
+        if self.label_delay_s < 0.0:
+            raise ValueError(f"label_delay_s must be >= 0, "
+                             f"got {self.label_delay_s}")
         self.policy  # validate the batching knobs eagerly
 
     @property
@@ -237,11 +246,20 @@ class Scenario:
             shape=self.shape.scaled(factor),
             hot_swap_at_s=(self.hot_swap_at_s * factor
                            if self.hot_swap_at_s >= 0.0 else -1.0),
+            label_delay_s=self.label_delay_s * factor,
         )
 
     def config_dict(self) -> dict:
-        """The declaration echoed into the report (JSON-ready)."""
+        """The declaration echoed into the report (JSON-ready).
+
+        ``label_delay_s`` is echoed only when set, so reports of the
+        pre-existing scenarios stay byte-identical to their golden
+        fixtures.
+        """
+        extra = ({"label_delay_s": self.label_delay_s}
+                 if self.label_delay_s > 0.0 else {})
         return {
+            **extra,
             "duration_s": self.duration_s,
             "shape": self.shape.to_dict(),
             "num_features": self.num_features,
@@ -348,6 +366,72 @@ def build_trace(scenario: Scenario) -> RequestTrace:
         tenants=np.concatenate(all_tenants)[order],
         priorities=np.concatenate(all_priorities)[order],
     )
+
+
+# ---------------------------------------------------------------------------
+# Delayed labels
+# ---------------------------------------------------------------------------
+
+#: seed-stream tag for label draws — a *separate* stream from the trace
+#: builder's, so adding labels to a scenario never perturbs its arrivals
+_LABEL_STREAM = 0x1ABE1
+
+
+@dataclass(frozen=True)
+class LabelStream:
+    """Delayed binary outcome labels for a request trace.
+
+    ``labels[i]`` is the ground-truth outcome of request ``i``;
+    ``available_s[i]`` is the simulated instant it becomes observable —
+    arrival plus an exponential reporting delay, the click-stream
+    pattern where feedback trails serving by seconds to days.  The
+    deployment controller joins these with the served scores to feed
+    per-version drift monitors.
+    """
+
+    labels: np.ndarray
+    available_s: np.ndarray
+    mean_delay_s: float
+
+    def __post_init__(self) -> None:
+        if self.labels.shape != self.available_s.shape:
+            raise ValueError("one availability time per label required")
+
+    @property
+    def num_labels(self) -> int:
+        return int(self.labels.size)
+
+
+def emit_labels(trace: RequestTrace, teacher,
+                mean_delay_s: float, seed: int) -> LabelStream:
+    """Generate delayed binary labels for every request of a trace.
+
+    ``teacher`` is the compiled ensemble treated as the ground-truth
+    process: request ``i``'s label is a Bernoulli draw with probability
+    ``sigmoid(teacher.raw_scores(row_i))``.  Labels generated by the
+    *incumbent* model make the incumbent well-calibrated by
+    construction, so a canary that scores the same traffic worse is
+    genuinely worse — the monitor's comparison is against reality, not
+    against a favored baseline.  Delays are exponential with mean
+    ``mean_delay_s``.  All draws come from a dedicated seed stream, so
+    the trace itself is unchanged by label emission.
+    """
+    if mean_delay_s <= 0.0:
+        raise ValueError(f"mean_delay_s must be positive, "
+                         f"got {mean_delay_s}")
+    raw = np.asarray(teacher.raw_scores(trace.features))
+    if raw.ndim != 2 or raw.shape[1] != 1:
+        raise ValueError(
+            "delayed labels need a binary teacher (one raw score per "
+            f"request), got score shape {raw.shape}"
+        )
+    probs = 1.0 / (1.0 + np.exp(-np.clip(raw[:, 0], -60.0, 60.0)))
+    rng = np.random.default_rng([int(seed), _LABEL_STREAM])
+    labels = (rng.random(trace.num_requests) < probs).astype(np.int8)
+    delays = rng.exponential(mean_delay_s, trace.num_requests)
+    return LabelStream(labels=labels,
+                       available_s=trace.arrivals + delays,
+                       mean_delay_s=mean_delay_s)
 
 
 # ---------------------------------------------------------------------------
@@ -473,6 +557,12 @@ class ScenarioRunner:
         cache = (PredictionCache(s.cache_capacity, cuts=self.cuts)
                  if s.cache_capacity > 0 else None)
         self.cache = cache
+        if cache is not None:
+            # eager invalidation on every activation change (hot-swap
+            # and rollback alike) — the lazy serve()-time check alone
+            # would let a rolled-back version's entries linger until
+            # the next lookup
+            self.registry.attach_cache(cache)
         replicas = ReplicaSet(
             self.registry, ClusterConfig(num_workers=s.num_workers),
             network=network, balancer=s.balancer,
@@ -536,11 +626,7 @@ class ScenarioRunner:
             dropped = int(dropped_per_tenant[index])
             violations = int((lat > tenant.slo_s).sum()) + dropped
             total_violations += violations
-            if lat.size:
-                p50, p95, p99 = np.percentile(lat, [50.0, 95.0, 99.0])
-                worst = float(lat.max())
-            else:
-                p50 = p95 = p99 = worst = 0.0
+            summary = percentile_summary(lat)
             tenants[tenant.name] = {
                 "priority": tenant.priority,
                 "rate_rps": tenant.rate_rps,
@@ -549,10 +635,10 @@ class ScenarioRunner:
                 "served": int(lat.size),
                 "dropped": dropped,
                 "drop_rate": dropped / offered if offered else 0.0,
-                "p50_s": float(p50),
-                "p95_s": float(p95),
-                "p99_s": float(p99),
-                "max_s": worst,
+                "p50_s": summary["p50_s"],
+                "p95_s": summary["p95_s"],
+                "p99_s": summary["p99_s"],
+                "max_s": summary["max_s"],
                 "slo_violations": violations,
                 "slo_violation_rate": (violations / offered
                                        if offered else 0.0),
@@ -733,6 +819,28 @@ def _hot_swap_under_fire() -> Scenario:
     )
 
 
+def _canary_under_fire() -> Scenario:
+    return Scenario(
+        name="canary-under-fire",
+        seed=6006,
+        duration_s=1.0,
+        tenants=(TenantSpec("web", rate_rps=2400.0, slo_s=0.040),),
+        shape=LoadShape(kind="flash", flash_at_s=0.6, flash_len_s=0.15,
+                        flash_x=3.0),
+        num_workers=4,
+        max_queue=192,
+        overload="shed-oldest",
+        service_base_s=0.003,
+        service_per_row_s=0.00006,
+        label_delay_s=0.06,
+        faults="11:drop=0.2,timeout=0.1",
+        description="a canary rollout evaluated under a 3x flash crowd "
+                    "and a faulty deploy network: delayed labels feed "
+                    "per-version drift monitors while a slice of the "
+                    "fleet serves the candidate",
+    )
+
+
 #: the shipped scenario library, name -> builder
 SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "steady": _steady,
@@ -740,6 +848,7 @@ SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "flash-crowd": _flash_crowd,
     "heavy-tail": _heavy_tail,
     "hot-swap-under-fire": _hot_swap_under_fire,
+    "canary-under-fire": _canary_under_fire,
 }
 
 

@@ -192,3 +192,51 @@ class TestServerIntegration:
         server.dispatch(rows, 0.0)
         server.dispatch(rows, 1.0)
         assert billed == [6, 0]
+
+
+class TestRollbackInvalidation:
+    """Regression: a registry *rollback* must flush the cache exactly
+    like a hot-swap — eagerly, at the decision instant, before any
+    serve call could hand out a stale score."""
+
+    def build(self, small_binary):
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry()
+        for trees in (3, 2):
+            cfg = TrainConfig(num_trees=trees, num_layers=3,
+                              num_candidates=8)
+            registry.publish(GBDT(cfg).fit(small_binary).ensemble)
+        cache = PredictionCache(64)
+        registry.attach_cache(cache)
+        return registry, cache
+
+    def test_rollback_flushes_at_decision_instant(self, small_binary):
+        registry, cache = self.build(small_binary)
+        registry.activate(2)
+        rows = batch(8, registry.active.compiled.num_features, seed=11)
+        cache.serve(2, rows, registry.active.compiled.raw_scores)
+        assert len(cache) > 0 and cache.version == 2
+        registry.rollback()
+        # flushed eagerly — no serve() call in between
+        assert len(cache) == 0 and cache.version == 1
+        assert cache.stats.invalidations == 1
+
+    def test_roll_back_of_active_canary_flushes(self, small_binary):
+        registry, cache = self.build(small_binary)
+        registry.stage_canary(2)
+        registry.promote(2)
+        rows = batch(8, registry.active.compiled.num_features, seed=12)
+        cache.serve(2, rows, registry.active.compiled.raw_scores)
+        registry.roll_back(2)
+        assert len(cache) == 0 and cache.version == 1
+
+    def test_retiring_a_non_active_canary_keeps_entries(
+            self, small_binary):
+        registry, cache = self.build(small_binary)
+        registry.stage_canary(2)
+        rows = batch(8, registry.active.compiled.num_features, seed=13)
+        cache.serve(1, rows, registry.active.compiled.raw_scores)
+        stored = len(cache)
+        registry.roll_back(2)  # incumbent keeps serving: no flush
+        assert len(cache) == stored and cache.version == 1

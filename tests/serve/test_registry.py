@@ -114,3 +114,76 @@ class TestActivePointer:
         registry.publish(models[1])
         assert [v.version for v in registry.versions()] == [1, 2]
         assert "active=1" in repr(registry)
+
+
+class TestDeploymentStages:
+    def fresh(self, models):
+        registry = ModelRegistry()
+        registry.publish(models[0])
+        registry.publish(models[1])
+        return registry
+
+    def test_stage_flow_to_promotion(self, models):
+        registry = self.fresh(models)
+        assert registry.stages() == {1: "active", 2: "published"}
+        registry.stage_canary(2)
+        assert registry.stage_of(2) == "canary"
+        registry.promote(2)
+        assert registry.stages() == {1: "published", 2: "active"}
+        assert registry.stage_log == [(2, "canary"), (2, "active")]
+        assert registry.activation_log == [1, 2]
+
+    def test_promote_requires_the_canary_stage(self, models):
+        registry = self.fresh(models)
+        with pytest.raises(ValueError, match="staged canary"):
+            registry.promote(2)
+
+    def test_stage_canary_refuses_active(self, models):
+        registry = self.fresh(models)
+        with pytest.raises(ValueError, match="already active"):
+            registry.stage_canary(1)
+
+    def test_roll_back_staged_canary_keeps_incumbent(self, models):
+        registry = self.fresh(models)
+        registry.stage_canary(2)
+        left = registry.roll_back(2)
+        assert left.version == 1
+        assert registry.stage_of(2) == "retired"
+        assert registry.active.version == 1
+
+    def test_roll_back_active_restores_previous(self, models):
+        registry = self.fresh(models)
+        registry.stage_canary(2)
+        registry.promote(2)
+        left = registry.roll_back(2)
+        assert left.version == 1 and registry.active.version == 1
+        assert registry.stage_of(2) == "retired"
+
+    def test_retired_stays_retired(self, models):
+        registry = self.fresh(models)
+        registry.stage_canary(2)
+        registry.roll_back(2)
+        with pytest.raises(ValueError, match="refusing to re-stage"):
+            registry.stage_canary(2)
+
+
+class TestCacheNotification:
+    class SpyCache:
+        def __init__(self):
+            self.versions = []
+
+        def on_version_change(self, version):
+            self.versions.append(version)
+
+    def test_every_pointer_flip_notifies(self, models):
+        registry = ModelRegistry()
+        registry.publish(models[0])
+        registry.publish(models[1])
+        spy = self.SpyCache()
+        registry.attach_cache(spy)
+        registry.attach_cache(spy)  # idempotent
+        registry.activate(2)        # hot-swap
+        registry.rollback()         # plain rollback
+        registry.stage_canary(2)    # no pointer change -> no call
+        registry.roll_back(2)       # retire canary: notified (no-op arg)
+        assert spy.versions == [2, 1, 1]

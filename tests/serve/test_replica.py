@@ -203,3 +203,60 @@ class TestHotSwapUnderTraffic:
         replicas.deployer(registry.get(2))(0.5)
         assert replicas.deployed_versions() == [2, 2]
         assert registry.active.version == 1  # pointer untouched
+
+
+class TestVersionTargeting:
+    def test_subset_deploy_touches_only_the_pool(self, registry):
+        replicas = ReplicaSet(registry, ClusterConfig(num_workers=4),
+                              service_model=lambda k: 1e-4)
+        replicas.deploy(1)
+        replicas.deploy(2, workers=[3], kind="deploy:canary")
+        assert replicas.deployed_versions() == [1, 1, 1, 2]
+        assert replicas.workers_serving(1) == [0, 1, 2]
+        assert replicas.workers_serving(2) == [3]
+        snapshot = replicas.network.snapshot().bytes_by_kind
+        assert snapshot["deploy:canary"] == registry.get(2).nbytes
+        assert snapshot[DEPLOY_KIND] == 4 * registry.get(1).nbytes
+
+    def test_pool_validation(self, registry):
+        replicas = ReplicaSet(registry, ClusterConfig(num_workers=2),
+                              service_model=lambda k: 1e-4)
+        with pytest.raises(ValueError, match="must not be empty"):
+            replicas.deploy(1, workers=[])
+        with pytest.raises(ValueError, match="out of range"):
+            replicas.deploy(1, workers=[5])
+
+    def test_pool_dispatch_stays_inside_the_pool(self, registry):
+        replicas = ReplicaSet(registry, ClusterConfig(num_workers=4),
+                              service_model=lambda k: 1e-4)
+        replicas.deploy(1)
+        replicas.deploy(2, workers=[2, 3])
+        rows = np.zeros((2, registry.get(1).compiled.num_features))
+        workers = {replicas.dispatch(rows, 0.0, pool=[2, 3]).worker
+                   for _ in range(6)}
+        assert workers == {2, 3}
+        versions = {replicas.dispatch(rows, 0.0, pool=[0, 1])
+                    .model_version for _ in range(6)}
+        assert versions == {1}
+
+    def test_pool_round_robin_cursor_is_independent(self, registry):
+        replicas = ReplicaSet(registry, ClusterConfig(num_workers=3),
+                              service_model=lambda k: 1e-4)
+        replicas.deploy(1)
+        rows = np.zeros((1, registry.get(1).compiled.num_features))
+        pooled = [replicas.dispatch(rows, 0.0, pool=[0, 1]).worker
+                  for _ in range(4)]
+        assert pooled == [0, 1, 0, 1]
+        # the global cursor never moved while the pool cycled
+        assert replicas.dispatch(rows, 0.0).worker == 0
+
+    def test_occupy_bills_without_serving(self, registry):
+        replicas = ReplicaSet(registry, ClusterConfig(num_workers=2),
+                              service_model=lambda k: 1e-4)
+        replicas.deploy(1)
+        free_before = replicas._free.copy()
+        worker, start, done = replicas.occupy([1], 0.5, 0.25)
+        assert worker == 1
+        assert start == pytest.approx(max(0.5, free_before[1]))
+        assert done == pytest.approx(start + 0.25)
+        assert replicas._free[0] == free_before[0]  # pool 0 untouched

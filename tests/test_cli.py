@@ -317,3 +317,27 @@ class TestBackendFlags:
                      "--backend", "numba"]) == 0
         out = capsys.readouterr().out
         assert "compute priced for the 'numba' kernel backend" in out
+
+
+class TestDeploy:
+    def test_degraded_episode_rolls_back(self, capsys, tmp_path):
+        report = tmp_path / "deploy.json"
+        assert main(["deploy", "--scale", "0.25",
+                     "--report-out", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: rollback" in out
+        assert "retrained v3" in out
+        assert "VIOLATED" not in out
+        assert main(["deploy", "--show", str(report)]) == 0
+        assert "verdict: rollback" in capsys.readouterr().out
+
+    def test_healthy_canary_promotes(self, capsys):
+        assert main(["deploy", "--scale", "0.25",
+                     "--canary", "healthy"]) == 0
+        assert "verdict: promote" in capsys.readouterr().out
+
+    def test_shadow_mode(self, capsys):
+        assert main(["deploy", "--scale", "0.25", "--shadow"]) == 0
+        out = capsys.readouterr().out
+        assert "shadow mode" in out
+        assert "shadow_serves_incumbent_only=ok" in out
