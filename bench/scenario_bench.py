@@ -19,6 +19,12 @@ enforces:
   and per-run score exactness, straight from the report's
   ``invariants`` block.
 
+A second section, ``model_grid``, sweeps the database-perspective
+inference axes of Guan et al. — batch size x trees x depth — over the
+steady scenario (every cell trains its own model shape in process and
+replays the same seeded traffic), pinning how serving latency and
+throughput move with model shape.
+
 Usage::
 
     PYTHONPATH=src python bench/scenario_bench.py            # full grid
@@ -117,6 +123,60 @@ def run_scenario_entry(name: str, scale: float) -> dict:
     }
 
 
+def run_model_grid(quick: bool) -> list:
+    """Batch x trees x depth cells over the steady scenario.
+
+    Models are trained once per (trees, depth) shape and reused across
+    the batch-size axis (only the batching policy changes there), so
+    the grid isolates each axis the way the paper's inference
+    comparison does.  The deterministic service model scales its
+    per-row cost with ``trees * depth`` (the predictor walks every tree
+    level per row) and the batching window stretches to ``batch /
+    offered_rate`` so the batch-size axis actually binds — otherwise
+    every cell would replay the identical schedule.
+    """
+    base = get_scenario("steady", scale=0.15 if quick else 0.4)
+    offered_rate = sum(t.rate_rps for t in base.tenants)
+    base_shape_cost = 4 * 4
+    batches = (32, 128) if quick else (32, 64, 128)
+    trees_grid = (4, 8) if quick else (4, 8, 16)
+    layers_grid = (4,) if quick else (3, 5)
+    cells = []
+    for trees in trees_grid:
+        for layers in layers_grid:
+            registry, cuts = None, None
+            for batch in batches:
+                scenario = dataclasses.replace(
+                    base, name=f"grid-t{trees}-l{layers}-b{batch}",
+                    model_trees=trees, model_layers=layers,
+                    max_batch_size=batch,
+                    max_delay_s=batch / offered_rate,
+                    service_per_row_s=base.service_per_row_s
+                    * (trees * layers) / base_shape_cost)
+                runner = ScenarioRunner(scenario, registry=registry,
+                                        cuts=cuts)
+                report = runner.run()
+                registry, cuts = runner.registry, runner.cuts
+                totals = report["totals"]
+                cells.append({
+                    "trees": trees,
+                    "layers": layers,
+                    "batch": batch,
+                    "arrivals": totals["arrivals"],
+                    "batches": totals["batches"],
+                    "p50_s": totals["p50_s"],
+                    "p99_s": totals["p99_s"],
+                    "throughput_rps": totals["throughput_rps"],
+                    "invariants_ok": all(
+                        report["invariants"].values()),
+                })
+                print(f"  grid t={trees:2d} l={layers} b={batch:3d}: "
+                      f"p50={totals['p50_s'] * 1e3:6.2f}ms "
+                      f"p99={totals['p99_s'] * 1e3:6.2f}ms "
+                      f"throughput={totals['throughput_rps']:8.0f}rps")
+    return cells
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -132,6 +192,7 @@ def main() -> int:
     scale = QUICK_SCALE if args.quick else 1.0
     print(f"scenario bench ({mode} workload, scale={scale})")
     grid = {name: run_scenario_entry(name, scale) for name in SCENARIOS}
+    model_grid = run_model_grid(args.quick)
 
     report = {
         "generated_by": "bench/scenario_bench.py",
@@ -139,6 +200,7 @@ def main() -> int:
         "scale": scale,
         "numpy": np.__version__,
         "scenarios": grid,
+        "model_grid": model_grid,
     }
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True)
                         + "\n")
@@ -165,6 +227,12 @@ def main() -> int:
         ok = False
         print("MISSED: no scenario exercised the shed path — the "
               "priority-admission invariant was checked vacuously")
+    for cell in model_grid:
+        if not cell["invariants_ok"]:
+            ok = False
+            print(f"MISSED: model-grid cell t={cell['trees']} "
+                  f"l={cell['layers']} b={cell['batch']} violated a "
+                  "ledger invariant")
     if ok:
         print("all scenario conformance targets met")
     return 0 if (ok or not args.check) else 1

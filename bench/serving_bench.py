@@ -1,6 +1,6 @@
 """Serving-stack benchmark: compiled predictor, batching, hot-swap.
 
-Three sections, written to ``BENCH_serving.json``:
+Four sections, written to ``BENCH_serving.json``:
 
 * ``speedup`` — best-of-3 throughput of the naive per-tree loop
   (``TreeEnsemble.raw_scores``) vs the compiled level-synchronous
@@ -12,7 +12,15 @@ Three sections, written to ``BENCH_serving.json``:
   computation real, coordination simulated);
 * ``hot_swap`` — a mid-traffic deploy of a second model version:
   versions served, the single-version-per-batch invariant, and the
-  exact ``deploy:model`` byte accounting.
+  exact ``deploy:model`` byte accounting;
+* ``sharded`` — the replicate-vs-shard grid: shard counts ``S in
+  {1, 2, 4, 8}`` x batch size x model shape over a fixed 8-worker
+  fleet.  Every cell asserts bit-identity of the sharded chain fold
+  against the full predictor and that the ``serve:partial`` ledger
+  bytes equal the ring reduce-scatter closed form; the summary pins the
+  measured crossover (the smallest ``S >= 2`` whose rollout ships fewer
+  deploy bytes than replication — per-worker model bytes scale ``~1/S``
+  while the reduction adds ``S - 1`` latency rounds per batch).
 
 Usage::
 
@@ -167,6 +175,116 @@ def bench_hot_swap(registry, quick: bool) -> dict:
     return entry
 
 
+def bench_sharded(registry, quick: bool) -> dict:
+    """The replicate-vs-shard grid over a fixed 8-worker fleet.
+
+    Model shapes come free from the registry: v1 is the full bench
+    model, v2 its half-size hot-swap retrain — same depth, half the
+    trees.  Per cell the sharded chain fold is checked bit-identical to
+    the full predictor and the ``serve:partial`` bytes against the ring
+    reduce-scatter closed form; per (shape, batch) the summary records
+    the deploy-byte crossover and the layout the cost model recommends.
+    """
+    from repro.config import NetworkModel
+    from repro.serve import ShardedReplicaSet, reduce_shard_scores
+    from repro.systems.costmodel import (price_serving_layouts,
+                                         recommend_serving_layout,
+                                         score_reduction_bytes_per_batch)
+
+    workers = 8
+    shard_counts = (1, 2, 4, 8)
+    batch_sizes = (64, 256) if quick else (64, 256, 1024)
+    network = NetworkModel()
+    cells = []
+    crossovers = []
+    all_exact = True
+    formulas_ok = True
+    crossover_ok = True
+    footprint_ok = True
+    for version in (1, 2):
+        entry = registry.get(version)
+        compiled = entry.compiled
+        for batch in batch_sizes:
+            trace = synthetic_trace(batch, NUM_FEATURES,
+                                    rate_rps=1e5, seed=7 + version)
+            direct = compiled.raw_scores(trace.features)
+            deploy_by_s = {}
+            for num_shards in shard_counts:
+                shards = registry.shards(version, num_shards)
+                chained = reduce_shard_scores(
+                    [shard.compiled for shard in shards], trace.features)
+                exact = bool(np.array_equal(chained, direct))
+                all_exact &= exact
+                replicas = ShardedReplicaSet(
+                    registry, ClusterConfig(num_workers=workers),
+                    num_shards=num_shards)
+                replicas.deploy(version)
+                result = replicas.dispatch(trace.features, close_s=0.0)
+                expected_partial = score_reduction_bytes_per_batch(
+                    batch, compiled.gradient_dim, num_shards)
+                formulas_ok &= replicas.partial_bytes == expected_partial
+                per_worker = replicas.model_bytes_per_worker()
+                # ~1/S with slack for the repeated metadata keys and
+                # the one-tree granularity of the contiguous ranges
+                footprint_ok &= (per_worker
+                                 <= entry.nbytes / num_shards
+                                 + entry.nbytes
+                                 / max(compiled.num_trees, 1) + 512)
+                deploy_by_s[num_shards] = replicas.deploy_bytes
+                cells.append({
+                    "model_version": version,
+                    "num_trees": compiled.num_trees,
+                    "batch": batch,
+                    "num_shards": num_shards,
+                    "rows": replicas.num_rows,
+                    "exact": exact,
+                    "model_bytes_per_worker": per_worker,
+                    "model_bytes_full": entry.nbytes,
+                    "deploy_bytes": replicas.deploy_bytes,
+                    "partial_bytes_per_batch": replicas.partial_bytes,
+                    "expected_partial_bytes": expected_partial,
+                    "reduction_rounds": max(num_shards - 1, 0),
+                    "batch_latency_s": round(
+                        result.completion_s - result.start_s, 6),
+                })
+            crossover = next(
+                (s for s in shard_counts[1:]
+                 if deploy_by_s[s] <= deploy_by_s[1]), None)
+            crossover_ok &= crossover == 2
+            layouts = price_serving_layouts(
+                entry.nbytes,
+                {s: [m.nbytes for m in registry.shards(version, s)]
+                 for s in shard_counts},
+                workers, batch, compiled.gradient_dim,
+                network.bytes_per_second, network.latency_s)
+            pick = recommend_serving_layout(layouts)
+            crossovers.append({
+                "model_version": version,
+                "num_trees": compiled.num_trees,
+                "batch": batch,
+                "deploy_bytes_by_shards": deploy_by_s,
+                "deploy_crossover_shards": crossover,
+                "recommended_shards": pick["num_shards"],
+            })
+            print(f"  v{version} ({compiled.num_trees} trees) "
+                  f"batch={batch:5d}: deploy bytes "
+                  + " ".join(f"S={s}:{deploy_by_s[s]}"
+                             for s in shard_counts)
+                  + f" -> crossover S={crossover}, "
+                    f"cost model picks S={pick['num_shards']}")
+    return {
+        "workers": workers,
+        "shard_counts": list(shard_counts),
+        "batch_sizes": list(batch_sizes),
+        "cells": cells,
+        "crossover": crossovers,
+        "all_exact": all_exact,
+        "partial_bytes_match_formula": formulas_ok,
+        "deploy_crossover_at_2": crossover_ok,
+        "per_worker_bytes_scale": footprint_ok,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -184,6 +302,7 @@ def main() -> int:
     speedup = bench_speedup(registry, primary, args.quick)
     latency = bench_latency(registry, args.quick)
     hot_swap = bench_hot_swap(registry, args.quick)
+    sharded = bench_sharded(registry, args.quick)
 
     report = {
         "generated_by": "bench/serving_bench.py",
@@ -193,6 +312,7 @@ def main() -> int:
         "speedup": speedup,
         "latency": latency,
         "hot_swap": hot_swap,
+        "sharded": sharded,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -211,6 +331,20 @@ def main() -> int:
     if hot_swap["deploy_bytes"] != hot_swap["expected_deploy_bytes"]:
         ok = False
         print("MISSED: deploy:model byte accounting off")
+    if not sharded["all_exact"]:
+        ok = False
+        print("MISSED: a sharded cell diverged from the full predictor")
+    if not sharded["partial_bytes_match_formula"]:
+        ok = False
+        print("MISSED: serve:partial bytes off the reduce-scatter "
+              "closed form")
+    if not sharded["deploy_crossover_at_2"]:
+        ok = False
+        print("MISSED: sharded rollout failed to undercut replicated "
+              "deploy bytes at S=2")
+    if not sharded["per_worker_bytes_scale"]:
+        ok = False
+        print("MISSED: per-worker model bytes do not scale ~1/S")
     if ok:
         print("all serving targets met")
     return 0 if (ok or not args.check) else 1

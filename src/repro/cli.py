@@ -139,6 +139,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-batch", type=int, default=64)
     serve.add_argument("--max-delay-ms", type=float, default=2.0)
     serve.add_argument("--serve-workers", type=int, default=4)
+    serve.add_argument("--shards", type=int, default=1,
+                       help="tree-shard the fleet into S groups: each "
+                            "replica row holds one worker per shard and "
+                            "partial scores reduce over the wire "
+                            "(scores stay bit-identical; workers round "
+                            "up to a multiple of S)")
     serve.add_argument("--balancer", default="least-loaded",
                        choices=("round-robin", "least-loaded"))
     serve.add_argument("--trees", type=int, default=20,
@@ -213,6 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
     scen_run.add_argument("--smoke", action="store_true",
                           help="tiny CI run: every scenario at "
                                "--scale 0.2, invariants enforced")
+    scen_run.add_argument("--shards", type=int, default=0,
+                          help="override every selected scenario to "
+                               "serve tree-sharded with S shard groups "
+                               "(workers round up to a multiple of S; "
+                               "disables the prediction cache)")
     scen_run.add_argument("--report-out",
                           help="save the scenario report JSON here "
                                "(single scenario) or under this "
@@ -447,6 +458,11 @@ def cmd_serve_bench(args) -> int:
         args.layers = min(args.layers, 5)
         args.features = min(args.features, 20)
         args.serve_workers = min(args.serve_workers, 2)
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.serve_workers % args.shards:
+        args.serve_workers = (args.serve_workers // args.shards
+                              + 1) * args.shards
 
     registry = ModelRegistry()
     if args.model:
@@ -518,10 +534,20 @@ def cmd_serve_bench(args) -> int:
                   f"({fast_s / max(quant_s, 1e-12):.2f}x vs compiled), "
                   f"exact={qexact}")
 
-    replicas = ReplicaSet(
-        registry, ClusterConfig(num_workers=args.serve_workers),
-        balancer=args.balancer,
-    )
+    if args.shards > 1:
+        from .serve import ShardedReplicaSet
+
+        replicas = ShardedReplicaSet(
+            registry, ClusterConfig(num_workers=args.serve_workers),
+            num_shards=args.shards, balancer=args.balancer,
+        )
+        print(f"tree-sharded fleet: {args.shards} shard groups x "
+              f"{replicas.num_rows} replica rows")
+    else:
+        replicas = ReplicaSet(
+            registry, ClusterConfig(num_workers=args.serve_workers),
+            balancer=args.balancer,
+        )
     replicas.deploy()
     swaps = []
     if len(registry) > 1:
@@ -546,8 +572,50 @@ def cmd_serve_bench(args) -> int:
         print(f"hot-swap at t={swaps[0][0] * 1e3:.1f}ms: versions served "
               f"{report.versions_served()}, "
               f"single-version batches={single}")
-    print(f"deploy:model traffic: {replicas.deploy_bytes} bytes "
-          f"({len(registry)} deploys x {args.serve_workers} workers)")
+    if args.shards > 1:
+        import numpy as _np
+
+        from .serve import reduce_shard_scores
+        from .systems.costmodel import (price_serving_layouts,
+                                        recommend_serving_layout)
+
+        shards = registry.shards(entry.version, args.shards)
+        chained = reduce_shard_scores(
+            [shard.compiled for shard in shards], trace.features)
+        direct = registry.get(entry.version).compiled.raw_scores(
+            trace.features)
+        exact = bool(_np.array_equal(chained, direct))
+        print(f"sharded scores bit-identical to the full predictor: "
+              f"{exact}")
+        # same rollouts (v1 plus the hot-swap) priced replicated
+        replicated = sum(registry.get(v).nbytes
+                         for v in range(1, len(registry) + 1)) \
+            * args.serve_workers
+        print(f"deploy:shard traffic: {replicas.deploy_bytes} bytes "
+              f"(replicated would ship {replicated} bytes); per-worker "
+              f"model footprint {replicas.model_bytes_per_worker()} "
+              f"of {entry.nbytes}")
+        print(f"score reduction traffic: serve:partial="
+              f"{replicas.partial_bytes} serve:reduce="
+              f"{replicas.reduce_bytes} bytes over "
+              f"{len(report.batches)} batches")
+        network = NetworkModel()
+        layouts = price_serving_layouts(
+            entry.nbytes,
+            {1: [entry.nbytes],
+             args.shards: [s.nbytes for s in shards]},
+            args.serve_workers, args.max_batch,
+            shards[0].compiled.gradient_dim,
+            network.bytes_per_second, network.latency_s,
+        )
+        pick = recommend_serving_layout(layouts)
+        print(f"cost model recommends S={pick['num_shards']} "
+              f"({pick['model_bytes_per_worker']} bytes/worker, "
+              f"{pick['reduction_seconds_per_batch'] * 1e3:.2f}ms "
+              f"reduction/batch)")
+    else:
+        print(f"deploy:model traffic: {replicas.deploy_bytes} bytes "
+              f"({len(registry)} deploys x {args.serve_workers} workers)")
     return 0
 
 
@@ -720,9 +788,22 @@ def cmd_scenarios(args) -> int:
 
     names = args.names or list(SCENARIOS)
     scale = 0.2 if args.smoke else args.scale
+    if args.shards < 0:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     failed = False
     for position, name in enumerate(names):
         scenario = get_scenario(name, scale=scale)
+        if args.shards > 1:
+            import dataclasses
+
+            workers = scenario.num_workers
+            if workers % args.shards:
+                workers = (workers // args.shards + 1) * args.shards
+            # the cache holds full-model scores; sharded rows only ever
+            # compute partials, so the override drops it
+            scenario = dataclasses.replace(
+                scenario, num_shards=args.shards, num_workers=workers,
+                cache_capacity=0)
         report = ScenarioRunner(scenario).run()
         print(format_scenario_report(report))
         if position + 1 < len(names):

@@ -35,7 +35,7 @@ output is never larger than the dense baseline (plus one scheme byte).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -259,6 +259,67 @@ class LowPrecisionHistogramCodec(HistogramCodec):
 
 
 # ---------------------------------------------------------------------------
+# score codec (partial score vectors of sharded serving)
+# ---------------------------------------------------------------------------
+
+class ScoreCodec:
+    """Encode one partial raw-score vector ``(rows, gradient_dim)``.
+
+    Sharded serving (:mod:`repro.serve.sharded`) carries a running score
+    accumulator between shard groups; this codec is what that carry
+    ships as.  Lossy variants quantize the carried accumulator at every
+    hop, so the precision cost of shipping narrow partials — the serving
+    mirror of DimBoost's low-precision histograms — is real and
+    measured, not modeled.
+    """
+
+    name: str = "abstract"
+    lossless = True
+
+    def encode(self, scores: np.ndarray) -> Encoded:
+        raise NotImplementedError
+
+    def decode(self, enc: Encoded) -> np.ndarray:
+        raise NotImplementedError
+
+
+class RawScoreCodec(ScoreCodec):
+    """float64 pass-through — the exact (bit-identical) wire format."""
+
+    name = "raw"
+
+    def encode(self, scores: np.ndarray) -> Encoded:
+        arr = np.ascontiguousarray(scores, dtype=np.float64)
+        return Encoded(self.name, arr.nbytes, arr.nbytes, (arr,))
+
+    def decode(self, enc: Encoded) -> np.ndarray:
+        return enc.payload[0]
+
+
+class LowPrecisionScoreCodec(ScoreCodec):
+    """Lossy float32/float16 partial scores.
+
+    Values round to the narrow dtype on encode and widen back on decode,
+    so downstream consumers (and the served scores themselves) see the
+    quantization error.
+    """
+
+    lossless = False
+
+    def __init__(self, dtype, name: str) -> None:
+        self.dtype = np.dtype(dtype)
+        self.name = name
+
+    def encode(self, scores: np.ndarray) -> Encoded:
+        arr = np.ascontiguousarray(scores, dtype=np.float64)
+        narrow = arr.astype(self.dtype)
+        return Encoded(self.name, narrow.nbytes, arr.nbytes, (narrow,))
+
+    def decode(self, enc: Encoded) -> np.ndarray:
+        return enc.payload[0].astype(np.float64)
+
+
+# ---------------------------------------------------------------------------
 # placement codec (bitmap vs varint-packed minority indices)
 # ---------------------------------------------------------------------------
 
@@ -455,6 +516,9 @@ class CodecStack:
     histogram: HistogramCodec
     placement: PlacementCodec
     index: IndexCodec
+    #: partial score vectors of sharded serving ride the same ``--codec``
+    #: choice: lossless stacks ship exact float64, lossy stacks quantize
+    scores: ScoreCodec = field(default_factory=RawScoreCodec)
 
     @property
     def is_identity(self) -> bool:
@@ -468,18 +532,21 @@ def _build_stacks() -> Dict[str, CodecStack]:
     adaptive = AdaptivePlacementCodec()
     raw = RawIndexCodec()
     delta = DeltaIndexCodec()
+    raw_scores = RawScoreCodec()
     return {
-        "none": CodecStack("none", True, dense, bitmap, raw),
-        "sparse": CodecStack("sparse", True, sparse, adaptive, delta),
-        "delta": CodecStack("delta", True, dense, adaptive, delta),
+        "none": CodecStack("none", True, dense, bitmap, raw, raw_scores),
+        "sparse": CodecStack("sparse", True, sparse, adaptive, delta,
+                             raw_scores),
+        "delta": CodecStack("delta", True, dense, adaptive, delta,
+                            raw_scores),
         "f32": CodecStack(
             "f32", False,
             LowPrecisionHistogramCodec(np.float32, "f32"), adaptive,
-            delta),
+            delta, LowPrecisionScoreCodec(np.float32, "f32")),
         "f16": CodecStack(
             "f16", False,
             LowPrecisionHistogramCodec(np.float16, "f16"), adaptive,
-            delta),
+            delta, LowPrecisionScoreCodec(np.float16, "f16")),
     }
 
 

@@ -17,6 +17,13 @@ package turns them into production-shaped inference:
   checksums, atomic hot-swap, and rollback;
 - :mod:`~repro.serve.replica` — replicated serving over the simulated
   cluster with ``deploy:model`` byte accounting and load balancing;
+- :mod:`~repro.serve.sharded` — tree-sharded (vertically partitioned)
+  serving: the ensemble splits into ``S`` tree-range shards
+  (:func:`shard_ensemble`), each replica row holds one worker per shard
+  group, per-shard canonical payloads deploy under ``deploy:shard``, and
+  partial scores reduce through the comm collectives
+  (``serve:partial``/``serve:reduce``) with an ordered carry-in fold
+  that keeps sharded scores bit-identical to the full predictor;
 - :mod:`~repro.serve.cache` — opt-in exact-hit
   :class:`PredictionCache` keyed on quantized bin ids, with an LRU
   bound, version invalidation and a full hit/miss/eviction ledger;
@@ -40,13 +47,17 @@ from .batcher import (BatchPolicy, BatchRecord, DispatchResult,
                       ServingReport, synthetic_trace)
 from .cache import CacheStats, PredictionCache
 from .compiler import (CompiledEnsemble, QuantizedEnsemble,
-                       compile_ensemble, quantize_ensemble)
+                       compile_ensemble, quantize_ensemble,
+                       shard_bounds, shard_ensemble, slice_trees)
 from .deploy import (CANARY_KIND, DECISION_KIND, ROLLBACK_KIND,
                      CanaryPolicy, CanaryRouter, DeployController,
                      DeployDecision, DriftMonitor, RollbackPolicy,
                      audit_deploy, run_deploy)
-from .registry import ModelRegistry, ModelVersion
+from .registry import ModelRegistry, ModelShard, ModelVersion, \
+    shard_payload
 from .replica import DEPLOY_KIND, ReplicaSet
+from .sharded import (PARTIAL_KIND, REDUCE_KIND, SHARD_DEPLOY_KIND,
+                      ShardedReplicaSet, reduce_shard_scores)
 from .scenarios import (SCENARIO_SCHEMA, SCENARIOS, LabelStream,
                         LoadShape, Scenario, ScenarioRunner, TenantSpec,
                         audit_priority_admission, build_trace,
@@ -73,11 +84,15 @@ __all__ = [
     "MicroBatcher",
     "ModelRegistry",
     "ModelServer",
+    "ModelShard",
     "ModelVersion",
+    "PARTIAL_KIND",
     "PredictionCache",
     "QuantizedEnsemble",
+    "REDUCE_KIND",
     "ROLLBACK_KIND",
     "ReplicaSet",
+    "SHARD_DEPLOY_KIND",
     "RequestRecord",
     "RequestTrace",
     "RollbackPolicy",
@@ -86,6 +101,7 @@ __all__ = [
     "Scenario",
     "ScenarioRunner",
     "ServingReport",
+    "ShardedReplicaSet",
     "TenantSpec",
     "audit_deploy",
     "audit_priority_admission",
@@ -94,7 +110,12 @@ __all__ = [
     "emit_labels",
     "get_scenario",
     "quantize_ensemble",
+    "reduce_shard_scores",
     "run_deploy",
     "run_scenario",
+    "shard_bounds",
+    "shard_ensemble",
+    "shard_payload",
+    "slice_trees",
     "synthetic_trace",
 ]

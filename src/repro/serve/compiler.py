@@ -245,6 +245,39 @@ class CompiledEnsemble:
             self.tree_root, self.tree_depth, flat, num, has_nan, use,
         )
 
+    def add_raw_scores(self, features: FeatureBatch,
+                       out: np.ndarray) -> np.ndarray:
+        """Fold this ensemble's shrunken scores *into* ``out`` in place.
+
+        Performs, per element, the same float64 additions in the same
+        order as :meth:`raw_scores` — one ``+=`` of the gathered scaled
+        leaf row per tree, in tree order.  This is the carry-in half of
+        the sharded score reduction (:mod:`repro.serve.sharded`): folding
+        shard ``j``'s trees into the running sum carried from shards
+        ``0..j-1`` reproduces the monolithic predictor's summation order
+        exactly, which is what makes tree-sharded serving bit-identical
+        to the unsharded predictor despite float addition being
+        non-associative.  Starting from zeros, the fold equals
+        :meth:`raw_scores` bit for bit.
+        """
+        transposed = self._transposed(features)
+        num = transposed.shape[1]
+        if out.shape != (num, self.gradient_dim):
+            raise ValueError(
+                f"accumulator shape {out.shape} does not match "
+                f"({num}, {self.gradient_dim})"
+            )
+        if out.dtype != np.float64:
+            raise ValueError("accumulator must be float64")
+        flat = transposed.reshape(-1)
+        has_nan = bool(np.isnan(transposed).any())
+        for t in range(self.num_trees):
+            pos = self.backend.advance(
+                self._packed, self.threshold, flat, num,
+                int(self.tree_root[t]), int(self.tree_depth[t]), has_nan)
+            out += np.take(self._scaled_by_slot, pos, axis=0)
+        return out
+
 
 def compile_ensemble(ensemble: TreeEnsemble,
                      backend=None) -> CompiledEnsemble:
@@ -352,6 +385,97 @@ def _compile_tree(tree: Tree, slots: List[dict],
                 "leaf_slot": -1,
             })
     return depth
+
+
+# ---------------------------------------------------------------------------
+# Tree-range slicing (vertically partitioned / sharded serving)
+# ---------------------------------------------------------------------------
+
+def shard_bounds(num_trees: int, num_shards: int) -> List[tuple]:
+    """Contiguous ``(start, stop)`` tree ranges of an ``S``-way shard.
+
+    Trees split as evenly as possible; the first ``num_trees % S``
+    shards take one extra tree.  When ``S > num_trees`` the trailing
+    shards are empty ranges — a legal (all-zero-scoring) shard, so a
+    fleet layout can be fixed before the model has grown into it.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    base, extra = divmod(num_trees, num_shards)
+    bounds: List[tuple] = []
+    start = 0
+    for s in range(num_shards):
+        stop = start + base + (1 if s < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def slice_trees(compiled: CompiledEnsemble, start: int,
+                stop: int) -> CompiledEnsemble:
+    """The sub-ensemble of trees ``start..stop`` (exclusive) as its own
+    :class:`CompiledEnsemble`.
+
+    Slot arrays are sliced and rebased (children, roots, leaf rows), not
+    recompiled, so the shard's per-slot data — thresholds, packed
+    metadata, shrinkage-scaled leaf weights — is byte-for-byte the
+    parent's.  ``num_features`` is inherited from the parent so every
+    shard densifies a batch to the same width.  The ordered carry-in
+    fold of the shards' scores (:meth:`CompiledEnsemble.add_raw_scores`)
+    is therefore bit-identical to the parent's :meth:`raw_scores`.
+    """
+    if not 0 <= start <= stop <= compiled.num_trees:
+        raise ValueError(
+            f"tree range [{start}, {stop}) out of bounds for "
+            f"{compiled.num_trees} trees"
+        )
+    lo = int(compiled.tree_root[start])
+    hi = int(compiled.tree_root[stop])
+    leaf_slot = compiled.leaf_slot[lo:hi].copy()
+    leafy = leaf_slot >= 0
+    if leafy.any():
+        # leaf rows are appended in slot order at compile time, so a
+        # contiguous slot range owns a contiguous leaf-row range
+        leaf_base = int(leaf_slot[leafy].min())
+        leaf_count = int(leaf_slot[leafy].max()) + 1 - leaf_base
+        leaf_weights = compiled.leaf_weights[
+            leaf_base:leaf_base + leaf_count].copy()
+        leaf_slot[leafy] -= leaf_base
+    else:
+        leaf_weights = np.zeros((0, compiled.gradient_dim))
+    num_trees = stop - start
+    tree_depth = (compiled.tree_depth[start:stop].copy() if num_trees
+                  else np.zeros(1, dtype=np.int32))
+    return CompiledEnsemble(
+        num_trees=num_trees,
+        gradient_dim=compiled.gradient_dim,
+        learning_rate=compiled.learning_rate,
+        num_features=compiled.num_features,
+        feature=compiled.feature[lo:hi].copy(),
+        threshold=compiled.threshold[lo:hi].copy(),
+        left=compiled.left[lo:hi] - np.int32(lo),
+        right=compiled.right[lo:hi] - np.int32(lo),
+        default_left=compiled.default_left[lo:hi].copy(),
+        leaf_slot=leaf_slot,
+        leaf_weights=leaf_weights,
+        tree_root=(compiled.tree_root[start:stop + 1]
+                   - np.int32(lo)).astype(np.int32),
+        tree_depth=tree_depth,
+        backend=compiled.backend,
+    )
+
+
+def shard_ensemble(compiled: CompiledEnsemble,
+                   num_shards: int) -> List[CompiledEnsemble]:
+    """Partition an ensemble into ``S`` contiguous tree-range shards.
+
+    The shards cover every tree exactly once, in order; reducing their
+    scores with the ordered carry-in fold
+    (:func:`repro.serve.sharded.reduce_shard_scores`) is bit-identical
+    to ``compiled.raw_scores`` on any batch.
+    """
+    return [slice_trees(compiled, a, b)
+            for a, b in shard_bounds(compiled.num_trees, num_shards)]
 
 
 # ---------------------------------------------------------------------------

@@ -38,7 +38,52 @@ from typing import Dict, List, Optional, Union
 from ..core.serialize import (canonical_payload_bytes, ensemble_from_dict,
                               ensemble_to_dict, payload_checksum)
 from ..core.tree import TreeEnsemble
-from .compiler import CompiledEnsemble, compile_ensemble
+from .compiler import (CompiledEnsemble, compile_ensemble, shard_bounds,
+                       slice_trees)
+
+
+def shard_payload(payload: dict, start: int, stop: int) -> dict:
+    """The serialize-format payload restricted to trees
+    ``start..stop`` (exclusive) — what a sharded deploy ships to one
+    shard group.  The result is a complete, loadable model payload
+    (``ensemble_from_dict`` accepts it), so a shard can be published,
+    checksummed, and verified exactly like a full model."""
+    return {**payload, "trees": payload["trees"][start:stop]}
+
+
+@dataclass(frozen=True)
+class ModelShard:
+    """One tree-range shard of a published version.
+
+    The deployable unit of tree-sharded serving
+    (:mod:`repro.serve.sharded`): shard ``shard_index`` of ``num_shards``
+    holds trees ``start_tree..stop_tree`` of ``version``.  ``payload``
+    is the canonical serialize-format slice, independently checksummed,
+    and ``nbytes`` its canonical encoding size — the wire cost of
+    shipping this shard to one worker.  ``compiled`` is sliced from the
+    parent's compiled arrays, so the ordered carry-in fold of the
+    shards' scores is bit-identical to the full predictor.
+    """
+
+    version: int
+    shard_index: int
+    num_shards: int
+    start_tree: int
+    stop_tree: int
+    checksum: str
+    nbytes: int
+    compiled: CompiledEnsemble = field(repr=False)
+    payload: dict = field(repr=False)
+
+    @property
+    def num_trees(self) -> int:
+        return self.stop_tree - self.start_tree
+
+    def __str__(self) -> str:
+        return (f"v{self.version}[{self.shard_index}/{self.num_shards}] "
+                f"(trees {self.start_tree}..{self.stop_tree}, "
+                f"{self.nbytes / 1e6:.2f}MB, "
+                f"sha256:{self.checksum[:12]})")
 
 
 @dataclass(frozen=True)
@@ -78,6 +123,10 @@ class ModelRegistry:
         self._stages: Dict[int, str] = {}
         self._stage_log: List[tuple] = []
         self._caches: List = []
+        #: (version, num_shards) -> sliced ModelShard list; slicing and
+        #: checksumming a big payload is not free, and a fleet deploys
+        #: the same sharding many times (rows x rollouts)
+        self._shard_cache: Dict[tuple, List[ModelShard]] = {}
 
     # -- publishing --------------------------------------------------------
 
@@ -254,6 +303,44 @@ class ModelRegistry:
             return self.rollback()
         self._notify_caches()
         return self.active
+
+    # -- tree-range shards -------------------------------------------------
+
+    def shards(self, version: int, num_shards: int) -> List[ModelShard]:
+        """Tree-range shards of a published version, cached per
+        ``(version, num_shards)``.
+
+        Each shard carries its own canonical payload slice and SHA-256
+        checksum, so a sharded rollout ships and verifies shard ``j``'s
+        payload to shard group ``j`` only — per-worker deploy bytes
+        scale as ``~1/S`` of the full payload instead of replicating it.
+        Empty shards (when ``num_shards`` exceeds the tree count) are
+        legal and score zero, so a fleet layout can outlive model size.
+        """
+        key = (int(version), int(num_shards))
+        cached = self._shard_cache.get(key)
+        if cached is not None:
+            return cached
+        entry = self.get(version)
+        payload = (entry.payload if entry.payload is not None
+                   else ensemble_to_dict(entry.ensemble))
+        shards: List[ModelShard] = []
+        for j, (start, stop) in enumerate(
+                shard_bounds(entry.compiled.num_trees, num_shards)):
+            piece = shard_payload(payload, start, stop)
+            shards.append(ModelShard(
+                version=entry.version,
+                shard_index=j,
+                num_shards=num_shards,
+                start_tree=start,
+                stop_tree=stop,
+                checksum=payload_checksum(piece),
+                nbytes=len(canonical_payload_bytes(piece)),
+                compiled=slice_trees(entry.compiled, start, stop),
+                payload=piece,
+            ))
+        self._shard_cache[key] = shards
+        return shards
 
     # -- cache attachment --------------------------------------------------
 

@@ -271,15 +271,46 @@ class ReplicaSet:
 
     @property
     def deploy_bytes(self) -> int:
-        """Total wire bytes shipped under ``deploy:model`` so far."""
+        """Total wire bytes shipped under ``deploy:model`` so far.
+
+        Covers **only** the steady-state kind: subset deploys made under
+        a caller-chosen kind (``deploy(workers=..., kind="deploy:canary")``,
+        per-shard rollouts under ``deploy:shard``) are attributed to
+        *that* kind and do not appear here — use
+        :meth:`deploy_bytes_by_kind` for the full per-kind breakdown.
+        """
         return self.network.snapshot().bytes_by_kind.get(DEPLOY_KIND, 0)
 
     @property
     def deploy_raw_bytes(self) -> int:
-        """Pre-encoding bytes of every deploy — what full-payload
-        rollouts would have shipped."""
+        """Pre-encoding bytes of every ``deploy:model`` transfer — what
+        full-payload rollouts would have shipped.
+
+        Like :attr:`deploy_bytes`, this reads only the steady-state
+        kind; delta-encoded subset deploys keep their ``raw_nbytes`` (the
+        full payload size) under the caller's kind, so the
+        ``codec:deploy:canary`` savings dimension reports what a canary's
+        deltas avoided shipping without inflating the steady-state
+        numbers.
+        """
         return self.network.snapshot().raw_bytes_by_kind.get(
             DEPLOY_KIND, 0)
+
+    def deploy_bytes_by_kind(self) -> Dict[str, Tuple[int, int]]:
+        """``kind -> (wire_bytes, raw_bytes)`` of every ``deploy:*`` kind.
+
+        The per-kind ledger view that keeps subset and per-shard deploy
+        accounting attributable: steady-state rollouts land under
+        ``deploy:model``, canary slices under the kind their caller
+        chose, sharded rollouts under ``deploy:shard`` — each with the
+        raw (pre-delta, pre-codec) baseline alongside the wire bytes.
+        """
+        snapshot = self.network.snapshot()
+        return {
+            kind: (nbytes, snapshot.raw_bytes_by_kind.get(kind, nbytes))
+            for kind, nbytes in sorted(snapshot.bytes_by_kind.items())
+            if kind.startswith("deploy:")
+        }
 
     def __repr__(self) -> str:
         return (f"ReplicaSet(workers={self.num_workers}, "

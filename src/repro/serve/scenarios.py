@@ -32,9 +32,12 @@ against a golden fixture, exactly like the PR 4 golden model.
 
 The shipped :data:`SCENARIOS` registry covers the evaluation grid that
 Guan et al.'s database-perspective inference comparison lays out (batch
-size, concurrency, model shape) across five traffic regimes: ``steady``,
+size, concurrency, model shape) across the traffic regimes ``steady``,
 ``diurnal``, ``flash-crowd``, ``heavy-tail`` (multi-tenant Pareto rates
-with priority admission), and ``hot-swap-under-fire``.
+with priority admission), and ``hot-swap-under-fire``, plus
+``sharded-steady`` — the steady baseline served by a tree-sharded fleet
+(:class:`~repro.serve.sharded.ShardedReplicaSet`) whose scores must stay
+bit-identical to replicated serving.
 """
 
 from __future__ import annotations
@@ -193,6 +196,11 @@ class Scenario:
     max_queue: int = 256
     overload: str = "shed-oldest"
     num_workers: int = 2
+    #: tree-shard groups of the fleet: 1 replicates the full model to
+    #: every worker (a ReplicaSet); > 1 serves through a
+    #: ShardedReplicaSet of ``num_workers / num_shards`` replica rows,
+    #: so ``num_workers`` must divide evenly
+    num_shards: int = 1
     balancer: str = "round-robin"
     service_base_s: float = 0.002
     service_per_row_s: float = 0.00005
@@ -222,6 +230,21 @@ class Scenario:
         if self.label_delay_s < 0.0:
             raise ValueError(f"label_delay_s must be >= 0, "
                              f"got {self.label_delay_s}")
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, "
+                             f"got {self.num_shards}")
+        if self.num_workers % self.num_shards != 0:
+            raise ValueError(
+                f"num_workers ({self.num_workers}) must be a multiple "
+                f"of num_shards ({self.num_shards}) so every replica "
+                "row holds one worker per shard group"
+            )
+        if self.num_shards > 1 and self.cache_capacity > 0:
+            raise ValueError(
+                "prediction cache and tree sharding are mutually "
+                "exclusive: cache entries hold full-model scores, but "
+                "a sharded row only ever computes per-shard partials"
+            )
         self.policy  # validate the batching knobs eagerly
 
     @property
@@ -252,12 +275,14 @@ class Scenario:
     def config_dict(self) -> dict:
         """The declaration echoed into the report (JSON-ready).
 
-        ``label_delay_s`` is echoed only when set, so reports of the
-        pre-existing scenarios stay byte-identical to their golden
-        fixtures.
+        ``label_delay_s`` and ``num_shards`` are echoed only when set,
+        so reports of the pre-existing scenarios stay byte-identical to
+        their golden fixtures.
         """
         extra = ({"label_delay_s": self.label_delay_s}
                  if self.label_delay_s > 0.0 else {})
+        if self.num_shards > 1:
+            extra["num_shards"] = self.num_shards
         return {
             **extra,
             "duration_s": self.duration_s,
@@ -563,13 +588,24 @@ class ScenarioRunner:
             # would let a rolled-back version's entries linger until
             # the next lookup
             self.registry.attach_cache(cache)
-        replicas = ReplicaSet(
-            self.registry, ClusterConfig(num_workers=s.num_workers),
-            network=network, balancer=s.balancer,
-            service_model=lambda k: s.service_base_s
-            + s.service_per_row_s * k,
-            cache=cache,
-        )
+        if s.num_shards > 1:
+            from .sharded import ShardedReplicaSet
+            replicas = ShardedReplicaSet(
+                self.registry, ClusterConfig(num_workers=s.num_workers),
+                num_shards=s.num_shards,
+                network=network, balancer=s.balancer,
+                service_model=lambda k: s.service_base_s
+                + s.service_per_row_s * k,
+            )
+        else:
+            replicas = ReplicaSet(
+                self.registry,
+                ClusterConfig(num_workers=s.num_workers),
+                network=network, balancer=s.balancer,
+                service_model=lambda k: s.service_base_s
+                + s.service_per_row_s * k,
+                cache=cache,
+            )
         self.replicas = replicas
         replicas.deploy(1)
         swaps = []
@@ -819,6 +855,24 @@ def _hot_swap_under_fire() -> Scenario:
     )
 
 
+def _sharded_steady() -> Scenario:
+    return Scenario(
+        name="sharded-steady",
+        seed=7007,
+        duration_s=1.0,
+        tenants=(TenantSpec("web", rate_rps=2500.0, slo_s=0.030),),
+        shape=LoadShape(kind="steady"),
+        num_workers=4,
+        num_shards=2,
+        model_trees=8,
+        description="the steady baseline served by a tree-sharded "
+                    "fleet: two replica rows of two workers, each "
+                    "holding half the trees, with partial scores "
+                    "chained through the score-reduction collective — "
+                    "scores stay bit-identical to replicated serving",
+    )
+
+
 def _canary_under_fire() -> Scenario:
     return Scenario(
         name="canary-under-fire",
@@ -848,6 +902,7 @@ SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "flash-crowd": _flash_crowd,
     "heavy-tail": _heavy_tail,
     "hot-swap-under-fire": _hot_swap_under_fire,
+    "sharded-steady": _sharded_steady,
     "canary-under-fire": _canary_under_fire,
 }
 

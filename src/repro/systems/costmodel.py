@@ -258,6 +258,152 @@ def migration_seconds(
     return wire / bytes_per_second + transfers * latency_s
 
 
+def sharded_serving_deploy_bytes(shard_nbytes, num_rows: int) -> int:
+    """Rollout wire bytes of a sharded fleet: each of the ``R`` replica
+    rows receives every shard's payload once (shard ``j`` to its group's
+    member in that row) — ``R * sum_j shard_j``.  A replicated fleet of
+    the same ``W = R * S`` workers ships ``R * S *`` the full payload, so
+    sharding wins on deploy bytes whenever
+    ``sum_j shard_j < S * full`` — i.e. for every ``S >= 2`` (the shard
+    payloads repeat only the few metadata keys)."""
+    return int(num_rows) * int(sum(shard_nbytes))
+
+
+def replicated_serving_deploy_bytes(model_nbytes: int,
+                                    num_workers: int) -> int:
+    """Rollout wire bytes of a replicated fleet: the full canonical
+    payload to every worker."""
+    return int(model_nbytes) * int(num_workers)
+
+
+def score_reduction_bytes_per_batch(batch_rows: int, gradient_dim: int,
+                                    num_shards: int,
+                                    reduction: str = "gather") -> int:
+    """Wire bytes one batch's score reduction puts on the ledger.
+
+    The sharded dispatch charges the ring reduce-scatter decomposition
+    per kind: the ``serve:partial`` carry is ``(S-1)/S * payload`` per
+    worker over the float64 score vector (``batch * C * 8`` bytes), and
+    ``reduction="allreduce"`` adds the all-gather half again under
+    ``serve:reduce`` — together the closed-form ring all-reduce.  This
+    is the exact number the ledger records (``S = 1`` charges nothing).
+    """
+    if reduction not in ("gather", "allreduce"):
+        raise ValueError(f"unknown reduction {reduction!r}")
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards == 1:
+        return 0
+    payload = batch_rows * gradient_dim * 8
+    per_worker = (num_shards - 1) / num_shards * payload
+    half = int(per_worker * num_shards)
+    return half if reduction == "gather" else 2 * half
+
+
+def score_reduction_rounds(num_shards: int,
+                           reduction: str = "gather") -> int:
+    """Latency rounds the score reduction adds to every batch:
+    ``S - 1`` sequential carry hops (``2 (S-1)`` with the all-gather
+    half) — the bounded latency cost sharding pays per batch."""
+    if reduction not in ("gather", "allreduce"):
+        raise ValueError(f"unknown reduction {reduction!r}")
+    if num_shards <= 1:
+        return 0
+    hops = num_shards - 1
+    return hops if reduction == "gather" else 2 * hops
+
+
+def score_reduction_seconds_per_batch(
+    batch_rows: int,
+    gradient_dim: int,
+    num_shards: int,
+    bytes_per_second: float,
+    latency_s: float,
+    reduction: str = "gather",
+) -> float:
+    """Simulated seconds the reduction adds to one batch: per-worker
+    wire time plus one latency per round (the
+    :class:`~repro.cluster.comm.Collective` timing model)."""
+    if num_shards <= 1:
+        return 0.0
+    payload = batch_rows * gradient_dim * 8
+    per_worker = (num_shards - 1) / num_shards * payload
+    rounds = score_reduction_rounds(num_shards, reduction)
+    factor = 1 if reduction == "gather" else 2
+    return factor * per_worker / bytes_per_second + rounds * latency_s
+
+
+def price_serving_layouts(
+    model_nbytes: int,
+    shard_nbytes_by_s,
+    num_workers: int,
+    batch_rows: int,
+    gradient_dim: int,
+    bytes_per_second: float,
+    latency_s: float,
+    reduction: str = "gather",
+):
+    """Replicate-vs-shard price list for one model and fleet.
+
+    ``shard_nbytes_by_s`` maps each candidate shard count to its
+    per-shard canonical payload sizes (``S = 1`` is the replicated
+    layout).  Returns one dict per candidate with the three axes the
+    decision trades off: model bytes per worker, rollout deploy bytes,
+    and the per-batch reduction bytes/rounds/seconds.
+    """
+    layouts = []
+    for num_shards in sorted(shard_nbytes_by_s):
+        shard_nbytes = shard_nbytes_by_s[num_shards]
+        if num_workers % num_shards != 0:
+            raise ValueError(
+                f"fleet of {num_workers} cannot hold {num_shards} "
+                "shard groups evenly"
+            )
+        if len(shard_nbytes) != num_shards:
+            raise ValueError(
+                f"need {num_shards} shard sizes, got {len(shard_nbytes)}"
+            )
+        rows = num_workers // num_shards
+        layouts.append({
+            "num_shards": num_shards,
+            "rows": rows,
+            "model_bytes_per_worker": int(max(shard_nbytes)),
+            "deploy_bytes": (
+                replicated_serving_deploy_bytes(model_nbytes, num_workers)
+                if num_shards == 1
+                else sharded_serving_deploy_bytes(shard_nbytes, rows)),
+            "reduction_bytes_per_batch": score_reduction_bytes_per_batch(
+                batch_rows, gradient_dim, num_shards, reduction),
+            "reduction_rounds": score_reduction_rounds(
+                num_shards, reduction),
+            "reduction_seconds_per_batch":
+                score_reduction_seconds_per_batch(
+                    batch_rows, gradient_dim, num_shards,
+                    bytes_per_second, latency_s, reduction),
+        })
+    return layouts
+
+
+def recommend_serving_layout(layouts,
+                             max_reduction_seconds: float = 0.002):
+    """Pick a layout from :func:`price_serving_layouts` output.
+
+    Among candidates whose per-batch reduction latency stays within
+    ``max_reduction_seconds``, choose the smallest model-bytes-per-worker
+    footprint; ties break to fewer shards (less coordination).  The
+    replicated layout (``S = 1``) pays no reduction, so the fall-back is
+    always eligible.
+    """
+    eligible = [entry for entry in layouts
+                if entry["reduction_seconds_per_batch"]
+                <= max_reduction_seconds]
+    if not eligible:
+        eligible = [entry for entry in layouts
+                    if entry["num_shards"] == 1] or layouts
+    return min(eligible, key=lambda entry: (
+        entry["model_bytes_per_worker"], entry["num_shards"]))
+
+
 def expected_recovery_seconds_per_tree(
     shape: WorkloadShape,
     avg_nnz_per_instance: float,

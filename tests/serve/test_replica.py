@@ -250,6 +250,57 @@ class TestVersionTargeting:
         # the global cursor never moved while the pool cycled
         assert replicas.dispatch(rows, 0.0).worker == 0
 
+    def test_canary_bytes_never_pollute_steady_state(self, registry):
+        """``deploy_bytes``/``deploy_raw_bytes`` cover only the
+        ``deploy:model`` kind — a subset deploy under another kind must
+        leave both untouched (the regression that motivated the per-kind
+        breakdown)."""
+        replicas = ReplicaSet(registry, ClusterConfig(num_workers=4),
+                              service_model=lambda k: 1e-4)
+        replicas.deploy(1)
+        steady = replicas.deploy_bytes
+        steady_raw = replicas.deploy_raw_bytes
+        replicas.deploy(2, workers=[2, 3], kind="deploy:canary")
+        assert replicas.deploy_bytes == steady
+        assert replicas.deploy_raw_bytes == steady_raw
+
+    def test_deploy_bytes_by_kind_breakdown(self, registry):
+        replicas = ReplicaSet(registry, ClusterConfig(num_workers=4),
+                              service_model=lambda k: 1e-4)
+        replicas.deploy(1)
+        replicas.deploy(2, workers=[3], kind="deploy:canary")
+        by_kind = replicas.deploy_bytes_by_kind()
+        assert set(by_kind) == {DEPLOY_KIND, "deploy:canary"}
+        assert by_kind[DEPLOY_KIND] == \
+            (4 * registry.get(1).nbytes, 4 * registry.get(1).nbytes)
+        assert by_kind["deploy:canary"] == \
+            (registry.get(2).nbytes, registry.get(2).nbytes)
+        # non-deploy kinds never leak into the breakdown
+        replicas.network.record("serve:partial", 123, 0.0)
+        assert "serve:partial" not in replicas.deploy_bytes_by_kind()
+
+    def test_delta_subset_deploy_attributes_to_callers_kind(
+            self, append_registry):
+        """A delta-encoded canary deploy keeps its wire bytes *and* its
+        raw (full-payload) baseline under the caller's kind, so the
+        ``codec:deploy:canary`` savings dimension reports the delta's
+        win without touching ``deploy:model``."""
+        v1 = append_registry.get(1)
+        v2 = append_registry.get(2)
+        replicas = ReplicaSet(append_registry,
+                              ClusterConfig(num_workers=4),
+                              service_model=lambda k: 1e-4,
+                              delta_deploys=True)
+        replicas.deploy(1)
+        replicas.deploy(2, workers=[3], kind="deploy:canary")
+        by_kind = replicas.deploy_bytes_by_kind()
+        wire, raw = by_kind["deploy:canary"]
+        assert raw == v2.nbytes        # full payload baseline
+        assert 0 < wire < raw          # the tree-suffix delta shipped
+        assert by_kind[DEPLOY_KIND] == (4 * v1.nbytes, 4 * v1.nbytes)
+        savings = replicas.network.snapshot().codec_savings_by_kind()
+        assert savings == {"codec:deploy:canary": raw - wire}
+
     def test_occupy_bills_without_serving(self, registry):
         replicas = ReplicaSet(registry, ClusterConfig(num_workers=2),
                               service_model=lambda k: 1e-4)
